@@ -1,0 +1,121 @@
+//! Criterion micro-benches for the hot paths: scheduler batch assignment,
+//! XOR FEC encode/recover, receiver packet-buffer insertion, and GCC
+//! feedback processing.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use converge_core::{
+    classify, ConvergeScheduler, ConvergeSchedulerConfig, MRtpScheduler, MTputScheduler,
+    PathMetrics, Schedulable, Scheduler, SrttScheduler,
+};
+use converge_gcc::{GccConfig, GccController, PacketTiming};
+use converge_net::{PathId, SimDuration, SimTime};
+use converge_rtp::fec;
+use converge_video::{
+    EncoderConfig, PacketBuffer, Packetizer, PacketizerConfig, StreamId, VideoEncoder,
+};
+
+fn paths() -> Vec<PathMetrics> {
+    vec![
+        PathMetrics::new(PathId(0), 15_000_000, SimDuration::from_millis(40), 0.01),
+        PathMetrics::new(PathId(1), 5_000_000, SimDuration::from_millis(70), 0.03),
+    ]
+}
+
+fn frame_batch(n_frames: usize) -> Vec<Schedulable> {
+    let mut enc = VideoEncoder::new(EncoderConfig::paper_default(StreamId(0)));
+    let mut pkt = Packetizer::new(PacketizerConfig::default());
+    let mut out = Vec::new();
+    for i in 0..n_frames {
+        let frame = enc.encode(SimTime::from_micros(i as u64 * 33_333));
+        for p in pkt.packetize(&frame) {
+            out.push(Schedulable {
+                packet: p,
+                class: classify(&p),
+            });
+        }
+    }
+    out
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let batch = frame_batch(1);
+    let paths = paths();
+    let mut group = c.benchmark_group("scheduler/assign_batch");
+    let mut schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        (
+            "converge",
+            Box::new(ConvergeScheduler::new(ConvergeSchedulerConfig::default())),
+        ),
+        (
+            "srtt",
+            Box::new(SrttScheduler::new(1250, SimDuration::from_micros(33_333))),
+        ),
+        ("m-tput", Box::new(MTputScheduler::new())),
+        ("m-rtp", Box::new(MRtpScheduler::new())),
+    ];
+    for (name, sched) in schedulers.iter_mut() {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), &batch, |b, batch| {
+            b.iter(|| sched.assign_batch(SimTime::ZERO, std::hint::black_box(batch), &paths));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fec/xor");
+    for k in [4usize, 10, 30] {
+        let packets: Vec<(u16, Bytes)> = (0..k as u16)
+            .map(|s| (s, Bytes::from(vec![s as u8; 1200])))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("encode", k), &packets, |b, pkts| {
+            b.iter(|| fec::encode_one(std::hint::black_box(pkts)));
+        });
+        let grp = fec::encode_one(&packets);
+        let received: Vec<(u16, Bytes)> = packets[1..].to_vec();
+        group.bench_with_input(BenchmarkId::new("recover", k), &received, |b, recv| {
+            b.iter(|| fec::recover(&grp, std::hint::black_box(recv)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_packet_buffer(c: &mut Criterion) {
+    let batch = frame_batch(30);
+    c.bench_function("receiver/packet_buffer_30frames", |b| {
+        b.iter(|| {
+            let mut buf = PacketBuffer::new(768);
+            for (i, s) in batch.iter().enumerate() {
+                let _ = buf.insert(SimTime::from_micros(i as u64 * 100), &s.packet);
+            }
+            buf.len()
+        });
+    });
+}
+
+fn bench_gcc(c: &mut Criterion) {
+    let timings: Vec<PacketTiming> = (0..100u64)
+        .map(|i| PacketTiming {
+            send_time: SimTime::from_micros(i * 1_000),
+            arrival_time: SimTime::from_micros(i * 1_000 + 30_000),
+            size: 1200,
+        })
+        .collect();
+    c.bench_function("gcc/transport_feedback_100pkts", |b| {
+        b.iter(|| {
+            let mut ctl = GccController::new(GccConfig::default());
+            ctl.on_transport_feedback(SimTime::from_millis(130), std::hint::black_box(&timings));
+            ctl.target_rate_bps()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_fec,
+    bench_packet_buffer,
+    bench_gcc
+);
+criterion_main!(benches);

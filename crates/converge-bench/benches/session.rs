@@ -1,0 +1,39 @@
+//! Criterion end-to-end session benches: a short conference call per
+//! system, measuring full simulation cost (sender + network + receiver).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use converge_net::SimDuration;
+use converge_sim::{FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig};
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session/10s_driving_call");
+    group.sample_size(10);
+    let systems: Vec<(&str, SchedulerKind, FecKind)> = vec![
+        ("converge", SchedulerKind::Converge, FecKind::Converge),
+        ("webrtc", SchedulerKind::SinglePath(0), FecKind::WebRtcTable),
+        ("m-tput", SchedulerKind::MTput, FecKind::WebRtcTable),
+        ("srtt", SchedulerKind::Srtt, FecKind::WebRtcTable),
+        ("m-rtp", SchedulerKind::MRtp, FecKind::WebRtcTable),
+    ];
+    for (name, scheduler, fec) in systems {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let duration = SimDuration::from_secs(10);
+                let config = SessionConfig::paper_default(
+                    ScenarioConfig::driving(duration, 42),
+                    scheduler,
+                    fec,
+                    1,
+                    duration,
+                    42,
+                );
+                Session::new(config).run().frames_decoded
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Bandwidth-trace utility: generate the synthetic scenario traces as CSV
+//! (for plotting or external replay) and summarize trace files.
+//!
+//! ```text
+//! trace-tool gen <stationary|walking|driving> <wifi|cella|cellb> <secs> <seed>
+//! trace-tool info <file.csv>
+//! ```
+
+use converge_net::{trace, Carrier, RateTrace, Scenario, SimDuration, SimTime};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace-tool gen <stationary|walking|driving> <wifi|cella|cellb> <secs> <seed>\n  trace-tool info <file.csv>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            if args.len() != 5 {
+                usage();
+            }
+            let scenario = match args[1].as_str() {
+                "stationary" => Scenario::Stationary,
+                "walking" => Scenario::Walking,
+                "driving" => Scenario::Driving,
+                _ => usage(),
+            };
+            let carrier = match args[2].as_str() {
+                "wifi" => Carrier::Wifi,
+                "cella" => Carrier::CellularA,
+                "cellb" => Carrier::CellularB,
+                _ => usage(),
+            };
+            let secs: u64 = args[3].parse().unwrap_or_else(|_| usage());
+            let seed: u64 = args[4].parse().unwrap_or_else(|_| usage());
+            let t = trace::synthesize(scenario, carrier, SimDuration::from_secs(secs), seed);
+            print!("{}", t.to_csv());
+        }
+        Some("info") => {
+            if args.len() != 2 {
+                usage();
+            }
+            let text = std::fs::read_to_string(&args[1]).unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", args[1]);
+                std::process::exit(1);
+            });
+            let t = RateTrace::from_csv(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {}: {e}", args[1]);
+                std::process::exit(1);
+            });
+            let rates = t.rates();
+            let min = rates.iter().min().copied().unwrap_or(0);
+            let max = rates.iter().max().copied().unwrap_or(0);
+            let below_10m = (0..t.span().as_secs_f64() as u64)
+                .filter(|&s| t.rate_at(SimTime::from_secs(s)) < 10_000_000)
+                .count();
+            println!("segments:   {}", rates.len());
+            println!("step:       {}", t.step());
+            println!("span:       {}", t.span());
+            println!("mean rate:  {:.2} Mbps", t.mean_rate() as f64 / 1e6);
+            println!("min rate:   {:.2} Mbps", min as f64 / 1e6);
+            println!("max rate:   {:.2} Mbps", max as f64 / 1e6);
+            println!("sec <10Mbps: {below_10m}");
+        }
+        _ => usage(),
+    }
+}

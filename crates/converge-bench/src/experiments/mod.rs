@@ -1,0 +1,111 @@
+//! One regenerator per table/figure of the paper's evaluation. Each module
+//! exposes `run*` functions returning printable reports; the `experiments`
+//! binary dispatches on experiment IDs.
+
+pub mod ablations;
+pub mod fec_tradeoff;
+pub mod fig1;
+pub mod fig11_table4;
+pub mod fig14_15;
+pub mod fig3_table1;
+pub mod fig9_10_table3;
+pub mod stationary;
+pub mod traces;
+
+use crate::runner::Scale;
+
+/// An experiment runner: takes the scale, returns the printable report.
+pub type ExperimentFn = fn(Scale) -> String;
+
+/// Every experiment ID with its runner and a short description.
+pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
+    vec![
+        (
+            "fig1",
+            "WebRTC degradation under cellular variation",
+            fig1::run as fn(Scale) -> String,
+        ),
+        (
+            "fig3",
+            "FPS/freeze/FEC vs variants, 1-3 streams",
+            fig3_table1::run,
+        ),
+        (
+            "table1",
+            "frame drops & keyframe requests (same runs as fig3)",
+            fig3_table1::run,
+        ),
+        (
+            "fig9",
+            "walking/driving time series",
+            fig9_10_table3::run_fig9,
+        ),
+        ("fig10", "normalized QoE bars", fig9_10_table3::run_fig10),
+        (
+            "table3",
+            "E2E / FEC overhead / FEC utilization",
+            fig9_10_table3::run_table3,
+        ),
+        (
+            "fig11",
+            "QoE feedback ablation time series",
+            fig11_table4::run_fig11,
+        ),
+        (
+            "table4",
+            "QoE feedback ablation summary",
+            fig11_table4::run_table4,
+        ),
+        (
+            "fig12",
+            "FEC overhead & utilization vs loss",
+            fec_tradeoff::run_fig12,
+        ),
+        (
+            "fig13",
+            "throughput vs E2E delay trade-off",
+            fec_tradeoff::run_fig13,
+        ),
+        (
+            "table5",
+            "% QoE improvement vs loss rate",
+            fec_tradeoff::run_table5,
+        ),
+        (
+            "fig14",
+            "driving comparison vs all systems",
+            fig14_15::run_fig14,
+        ),
+        ("fig14c", "E2E latency CDF", fig14_15::run_fig14c),
+        ("fig15", "PSNR comparison", fig14_15::run_fig15),
+        ("fig16", "stationary time series", stationary::run_fig16),
+        ("fig17", "stationary normalized QoE", stationary::run_fig17),
+        ("table6", "stationary E2E / FEC", stationary::run_table6),
+        ("traces", "Figs. 20-22 bandwidth dynamics", traces::run),
+        (
+            "abl-priority",
+            "ablation: video-aware prioritization",
+            ablations::run_priority_ablation,
+        ),
+        (
+            "abl-fastpath",
+            "ablation: fast-path metric",
+            ablations::run_fastpath_ablation,
+        ),
+        (
+            "abl-fec",
+            "ablation: FEC policy incl. none",
+            ablations::run_fec_ablation,
+        ),
+        (
+            "abl-aqm",
+            "ablation: bottleneck queue discipline",
+            ablations::run_aqm_ablation,
+        ),
+        (
+            "abl-coupling",
+            "ablation: coupled vs uncoupled per-path CC",
+            ablations::run_coupling_ablation,
+        ),
+    ]
+}

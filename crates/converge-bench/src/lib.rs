@@ -1,0 +1,24 @@
+//! # converge-bench
+//!
+//! Experiment regenerators for every table and figure of the Converge
+//! (SIGCOMM 2023) evaluation, plus the shared run/aggregate machinery.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p converge-bench --bin experiments -- all
+//! ```
+//!
+//! or a single experiment (`fig3`, `table5`, ...); add `--quick` for short
+//! smoke runs. Criterion micro-benches for the hot paths live in
+//! `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod runner;
+pub mod stats;
+
+pub use runner::{mean_std, metric, pm, run_once, run_seeds, Cell, Scale};
+pub use stats::{cdf, quantile, quantiles};

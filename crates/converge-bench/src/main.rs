@@ -1,0 +1,36 @@
+//! The `experiments` binary: regenerates the paper's tables and figures.
+
+use converge_bench::experiments::registry;
+use converge_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+
+    let registry = registry();
+    if targets.is_empty() || targets.iter().any(|t| t == "list") {
+        eprintln!("usage: experiments <id>|all [--quick]\n\navailable experiments:");
+        for (id, desc, _) in &registry {
+            eprintln!("  {id:<8} {desc}");
+        }
+        return;
+    }
+
+    let run_all = targets.iter().any(|t| t == "all");
+    let mut seen = std::collections::HashSet::new();
+    for (id, desc, runner) in &registry {
+        if run_all || targets.iter().any(|t| t == id) {
+            // fig3/table1 share a runner; print once under a joint header.
+            if !seen.insert(*runner as usize) {
+                continue;
+            }
+            eprintln!(">> {id}: {desc} ({scale:?})");
+            let started = std::time::Instant::now();
+            let output = runner(scale);
+            println!("{output}");
+            eprintln!("   done in {:.1}s\n", started.elapsed().as_secs_f64());
+        }
+    }
+}

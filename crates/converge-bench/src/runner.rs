@@ -1,0 +1,156 @@
+//! Shared experiment machinery: repeated seeded runs, aggregation, and
+//! parallel sweeps.
+
+use converge_net::SimDuration;
+use converge_sim::{CallReport, FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig};
+
+/// One experiment cell: a scenario × system × stream-count combination.
+#[derive(Clone)]
+pub struct Cell {
+    /// Builds the scenario for a given (duration, seed).
+    pub scenario: fn(SimDuration, u64) -> ScenarioConfig,
+    /// Scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// FEC policy under test.
+    pub fec: FecKind,
+    /// Camera streams.
+    pub streams: u8,
+}
+
+/// Experiment scale: full reproduces the paper's 3-minute calls; quick is
+/// for smoke runs and CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 180 s calls, 3 seeds.
+    Full,
+    /// 30 s calls, 2 seeds.
+    Quick,
+}
+
+impl Scale {
+    /// Call duration at this scale.
+    pub fn duration(self) -> SimDuration {
+        match self {
+            Scale::Full => SimDuration::from_secs(180),
+            Scale::Quick => SimDuration::from_secs(30),
+        }
+    }
+
+    /// Seeds to average over.
+    pub fn seeds(self) -> &'static [u64] {
+        match self {
+            Scale::Full => &[11, 42, 77],
+            Scale::Quick => &[11, 42],
+        }
+    }
+}
+
+/// Runs one cell once.
+pub fn run_once(cell: &Cell, duration: SimDuration, seed: u64) -> CallReport {
+    let scenario = (cell.scenario)(duration, seed);
+    let config = SessionConfig::paper_default(
+        scenario,
+        cell.scheduler,
+        cell.fec,
+        cell.streams,
+        duration,
+        seed,
+    );
+    Session::new(config).run()
+}
+
+/// Runs one cell over every seed of the scale, in parallel, returning every
+/// report.
+pub fn run_seeds(cell: &Cell, scale: Scale) -> Vec<CallReport> {
+    let duration = scale.duration();
+    let seeds = scale.seeds();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let cell = cell.clone();
+                s.spawn(move |_| run_once(&cell, duration, seed))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run"))
+            .collect()
+    })
+    .expect("scope")
+}
+
+/// Mean and sample standard deviation of a series.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Formats `mean ± std` compactly.
+pub fn pm(values: &[f64], decimals: usize) -> String {
+    let (m, s) = mean_std(values);
+    format!("{m:.decimals$} ± {s:.decimals$}")
+}
+
+/// Extracts a metric from each report.
+pub fn metric(reports: &[CallReport], f: impl Fn(&CallReport) -> f64) -> Vec<f64> {
+    reports.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 6.0]);
+        assert_eq!(m, 4.0);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+    }
+
+    #[test]
+    fn pm_formats() {
+        assert_eq!(pm(&[1.0, 3.0], 1), "2.0 ± 1.4");
+    }
+
+    #[test]
+    fn quick_scale_runs() {
+        let cell = Cell {
+            scenario: |_, _| ScenarioConfig::fec_tradeoff(0.0),
+            scheduler: SchedulerKind::Converge,
+            fec: FecKind::Converge,
+            streams: 1,
+        };
+        let report = run_once(&cell, SimDuration::from_secs(5), 1);
+        assert!(report.frames_decoded > 0);
+    }
+
+    #[test]
+    fn run_seeds_parallel() {
+        let cell = Cell {
+            scenario: |_, _| ScenarioConfig::fec_tradeoff(0.0),
+            scheduler: SchedulerKind::Converge,
+            fec: FecKind::Converge,
+            streams: 1,
+        };
+        // Abbreviated: 2 seeds at quick scale.
+        let reports = crossbeam::thread::scope(|s| {
+            let h1 = s.spawn(|_| run_once(&cell, SimDuration::from_secs(5), 1));
+            let h2 = s.spawn(|_| run_once(&cell, SimDuration::from_secs(5), 2));
+            (h1.join().unwrap(), h2.join().unwrap())
+        })
+        .unwrap();
+        assert!(reports.0.frames_decoded > 0);
+        assert!(reports.1.frames_decoded > 0);
+    }
+}

@@ -1,0 +1,569 @@
+//! The video QoE feedback loop (paper §4.2).
+//!
+//! Receiver side: [`QoeMonitor`] watches frame construction. Per frame it
+//! records, for every path, how many packets arrived after the fast path's
+//! last packet (late) or comfortably before it (early). When the interframe
+//! delay exceeds the expectation (`IFD > IFD_exp = 1/fps`), it emits a
+//! feedback message `(path_id, α, FCD)`: negative α asks the sender to move
+//! that many packets off the offending path; positive α offers headroom.
+//!
+//! Sender side: [`PathShare`] applies Eq. 2 to the per-path packet counts,
+//! disables a path whose share reaches zero, and re-enables it when Eq. 3
+//! holds: `(rtt_fast − rtt_i)/2 ≤ FCD`.
+
+use std::collections::BTreeMap;
+
+use converge_net::{PathId, SimDuration, SimTime};
+use converge_rtp::QoeFeedback;
+
+/// Per-frame, per-path arrival bookkeeping.
+#[derive(Debug, Default)]
+struct FrameArrivals {
+    /// (path, arrival time) of every packet of the frame.
+    packets: Vec<(PathId, SimTime)>,
+}
+
+/// Receiver-side QoE monitor for one stream.
+#[derive(Debug)]
+pub struct QoeMonitor {
+    ssrc: u32,
+    /// Expected IFD = 1 / advertised frame rate.
+    expected_ifd: SimDuration,
+    /// Arrival records for frames still being gathered.
+    gathering: BTreeMap<u64, FrameArrivals>,
+    /// The path currently considered fast (reference for lateness).
+    fast_path: PathId,
+    /// Most recent FCD observed.
+    last_fcd: SimDuration,
+    /// Pending feedback to emit.
+    pending: Vec<QoeFeedback>,
+    /// Cooldown so one congestion event does not spray feedback every frame.
+    last_feedback_at: Option<SimTime>,
+    cooldown: SimDuration,
+}
+
+impl QoeMonitor {
+    /// Creates a monitor expecting `fps` frames per second.
+    pub fn new(ssrc: u32, fps: u32, fast_path: PathId) -> Self {
+        QoeMonitor {
+            ssrc,
+            expected_ifd: SimDuration::from_micros(1_000_000 / fps.max(1) as u64),
+            gathering: BTreeMap::new(),
+            fast_path,
+            last_fcd: SimDuration::ZERO,
+            pending: Vec::new(),
+            last_feedback_at: None,
+            cooldown: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Updates the expected frame rate (from the sender's SDES message).
+    pub fn set_frame_rate(&mut self, fps: u32) {
+        self.expected_ifd = SimDuration::from_micros(1_000_000 / fps.max(1) as u64);
+    }
+
+    /// Updates which path the monitor treats as the fast reference.
+    pub fn set_fast_path(&mut self, path: PathId) {
+        self.fast_path = path;
+    }
+
+    /// Expected interframe delay.
+    pub fn expected_ifd(&self) -> SimDuration {
+        self.expected_ifd
+    }
+
+    /// Records a media/control packet arrival for `frame_id` via `path`.
+    pub fn on_packet(&mut self, now: SimTime, path: PathId, frame_id: u64) {
+        self.gathering
+            .entry(frame_id)
+            .or_default()
+            .packets
+            .push((path, now));
+        // Bound memory: forget very old frames.
+        while self.gathering.len() > 64 {
+            let oldest = *self.gathering.keys().next().expect("non-empty");
+            self.gathering.remove(&oldest);
+        }
+    }
+
+    /// Notifies that `frame_id` entered the frame buffer with the given IFD
+    /// and FCD (from the packet/frame buffer events).
+    pub fn on_frame_entered(
+        &mut self,
+        now: SimTime,
+        frame_id: u64,
+        ifd: Option<SimDuration>,
+        fcd: SimDuration,
+    ) {
+        self.last_fcd = fcd;
+        let Some(arrivals) = self.gathering.remove(&frame_id) else {
+            return;
+        };
+        let Some(ifd) = ifd else {
+            return;
+        };
+        // Fire only on a clear violation: scheduling jitter makes IFD
+        // fluctuate a few percent around the expectation every frame, and
+        // reacting to that noise oscillates the sender's shares.
+        if ifd.as_micros() * 2 <= self.expected_ifd.as_micros() * 3 {
+            return;
+        }
+        // QoE is deteriorating. Rate-limit feedback.
+        if let Some(last) = self.last_feedback_at {
+            if now.saturating_since(last) < self.cooldown {
+                return;
+            }
+        }
+
+        // Reference: last arrival on the fast path for this frame.
+        let reference = arrivals
+            .packets
+            .iter()
+            .filter(|(p, _)| *p == self.fast_path)
+            .map(|(_, t)| *t)
+            .max();
+        let Some(reference) = reference else {
+            return; // no fast-path packets in this frame: no baseline
+        };
+
+        // Count late/early packets per non-fast path.
+        let mut late: BTreeMap<PathId, i32> = BTreeMap::new();
+        let mut early: BTreeMap<PathId, i32> = BTreeMap::new();
+        for (path, at) in &arrivals.packets {
+            if *path == self.fast_path {
+                continue;
+            }
+            if *at > reference {
+                *late.entry(*path).or_insert(0) += 1;
+            } else {
+                *early.entry(*path).or_insert(0) += 1;
+            }
+        }
+
+        // Worst offender: the path with the most late packets → negative α.
+        if let Some((&path, &count)) = late.iter().max_by_key(|(_, &c)| c) {
+            self.pending.push(QoeFeedback {
+                path_id: path.0,
+                ssrc: self.ssrc,
+                alpha: -count,
+                fcd_micros: fcd.as_micros(),
+            });
+            self.last_feedback_at = Some(now);
+            return;
+        }
+        // No late packets anywhere, yet IFD is high: some slow path
+        // finished entirely before the fast path, so it has headroom —
+        // positive α for the earliest-finishing one.
+        if let Some((&path, &count)) = early.iter().max_by_key(|(_, &c)| c) {
+            self.pending.push(QoeFeedback {
+                path_id: path.0,
+                ssrc: self.ssrc,
+                alpha: count,
+                fcd_micros: fcd.as_micros(),
+            });
+            self.last_feedback_at = Some(now);
+        }
+    }
+
+    /// Drains feedback messages ready to send.
+    pub fn take_feedback(&mut self) -> Vec<QoeFeedback> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// The most recent frame construction delay.
+    pub fn last_fcd(&self) -> SimDuration {
+        self.last_fcd
+    }
+}
+
+/// Sender-side reaction to QoE feedback: per-path packet-share offsets
+/// (Eq. 2) and path enable/disable with Eq. 3 re-enablement.
+#[derive(Debug, Default)]
+pub struct PathShare {
+    /// Persistent α-driven offset per path, in packets.
+    offsets: BTreeMap<PathId, i64>,
+    /// Paths currently disabled by feedback.
+    disabled: BTreeMap<PathId, DisabledState>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DisabledState {
+    /// FCD from the feedback that disabled the path, for Eq. 3.
+    fcd: SimDuration,
+}
+
+impl PathShare {
+    /// Creates an empty state (no offsets, nothing disabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current offset for a path.
+    pub fn offset(&self, path: PathId) -> i64 {
+        self.offsets.get(&path).copied().unwrap_or(0)
+    }
+
+    /// Whether feedback has disabled the path.
+    pub fn is_disabled(&self, path: PathId) -> bool {
+        self.disabled.contains_key(&path)
+    }
+
+    /// Applies one feedback message (Eq. 2): adjusts the offset by α. The
+    /// caller decides whether the resulting share bottomed out and, if so,
+    /// calls [`PathShare::mark_disabled`] with the feedback's FCD.
+    ///
+    /// Offsets are clamped to a sane band: an unbounded accumulation would
+    /// let a long streak of positive feedback drown the Eq. 1 baseline.
+    pub fn apply_feedback(&mut self, path: PathId, alpha: i32, _fcd: SimDuration) {
+        let off = self.offsets.entry(path).or_insert(0);
+        *off = (*off + alpha as i64).clamp(-256, 64);
+    }
+
+    /// Decays every offset toward zero; called once per scheduled batch so
+    /// stale feedback fades as conditions change (half-life ~1 s at 30 fps).
+    pub fn decay_offsets(&mut self) {
+        for off in self.offsets.values_mut() {
+            *off -= off.signum() * ((off.abs() / 32) + i64::from(*off != 0));
+        }
+    }
+
+    /// Marks a path disabled (its computed share reached zero), remembering
+    /// the FCD that justified it.
+    pub fn mark_disabled(&mut self, path: PathId, fcd: SimDuration) {
+        self.disabled.insert(path, DisabledState { fcd });
+    }
+
+    /// Eq. 3 re-enable check: `(rtt_fast − rtt_i)/2 ≤ FCD`. `rtt_i` comes
+    /// from probe packets duplicated onto the disabled path.
+    pub fn try_reenable(
+        &mut self,
+        path: PathId,
+        rtt_fast: SimDuration,
+        rtt_path: SimDuration,
+    ) -> bool {
+        let Some(state) = self.disabled.get(&path) else {
+            return false;
+        };
+        let gap_half = rtt_fast.as_micros().abs_diff(rtt_path.as_micros()) / 2;
+        if SimDuration::from_micros(gap_half) <= state.fcd.max(SimDuration::from_millis(5)) {
+            self.disabled.remove(&path);
+            // Fresh start: clear the negative offset that killed the path.
+            self.offsets.insert(path, 0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Computes the per-path media packet counts for a batch of `n` packets
+    /// (Eq. 1 proportional split, then Eq. 2 offsets, then the `P_max` cap).
+    ///
+    /// `paths` must carry current GCC rates. Returns `(path, count)` pairs
+    /// covering exactly `n` packets across enabled paths. If every path is
+    /// disabled, the offsets are ignored and the split is proportional.
+    pub fn split(
+        &mut self,
+        n: usize,
+        paths: &[crate::metrics::PathMetrics],
+        p_max: &BTreeMap<PathId, usize>,
+    ) -> Vec<(PathId, usize)> {
+        let enabled: Vec<_> = paths
+            .iter()
+            .filter(|p| p.enabled && !self.is_disabled(p.id))
+            .collect();
+        let use_paths: Vec<_> = if enabled.is_empty() {
+            paths.iter().collect()
+        } else {
+            enabled
+        };
+        let total_rate: u64 = use_paths.iter().map(|p| p.rate_bps).sum();
+        if total_rate == 0 || n == 0 {
+            // Degenerate: dump everything on the first path.
+            return use_paths
+                .first()
+                .map(|p| vec![(p.id, n)])
+                .unwrap_or_default();
+        }
+
+        // Eq. 1: proportional share, then Eq. 2 offset, then cap.
+        let mut counts: Vec<(PathId, usize)> = Vec::with_capacity(use_paths.len());
+        for p in &use_paths {
+            let base = (p.rate_bps as f64 / total_rate as f64 * n as f64).round() as i64;
+            let adjusted = base + self.offset(p.id);
+            let cap = p_max
+                .get(&p.id)
+                .copied()
+                .unwrap_or(usize::MAX)
+                .min(i64::MAX as usize) as i64;
+            counts.push((p.id, adjusted.clamp(0, cap) as usize));
+        }
+
+        // Re-balance so the counts sum to exactly n, preferring paths with
+        // spare cap, highest rate first.
+        let mut assigned: usize = counts.iter().map(|(_, c)| c).sum();
+        let mut order: Vec<usize> = (0..counts.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(use_paths[i].rate_bps));
+        // Add missing packets: fill the fastest path up to its cap before
+        // touching slower ones, so a feedback-penalized path keeps its
+        // reduced share (the paper's 4:2 → 5:1 example).
+        if assigned < n {
+            for &i in &order {
+                if assigned >= n {
+                    break;
+                }
+                let cap = p_max.get(&counts[i].0).copied().unwrap_or(usize::MAX);
+                let room = cap.saturating_sub(counts[i].1);
+                let add = room.min(n - assigned);
+                counts[i].1 += add;
+                assigned += add;
+            }
+            if assigned < n {
+                // All caps hit: overflow onto the fastest path regardless.
+                if let Some(&i) = order.first() {
+                    counts[i].1 += n - assigned;
+                }
+                assigned = n;
+            }
+        }
+        // Remove excess packets (from slowest paths first).
+        while assigned > n {
+            let mut progressed = false;
+            for &i in order.iter().rev() {
+                if assigned <= n {
+                    break;
+                }
+                if counts[i].1 > 0 {
+                    counts[i].1 -= 1;
+                    assigned -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PathMetrics;
+
+    const P1: PathId = PathId(1);
+    const P2: PathId = PathId(2);
+
+    fn monitor() -> QoeMonitor {
+        QoeMonitor::new(7, 30, P1)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn no_feedback_when_ifd_ok() {
+        let mut m = monitor();
+        m.on_packet(t(0), P1, 0);
+        m.on_packet(t(5), P2, 0);
+        m.on_frame_entered(t(5), 0, Some(d(30)), d(5));
+        assert!(m.take_feedback().is_empty());
+    }
+
+    #[test]
+    fn late_packets_produce_negative_alpha() {
+        let mut m = monitor();
+        // Fast path P1 finishes at 10 ms; P2 delivers 2 packets at 40/45 ms.
+        m.on_packet(t(5), P1, 0);
+        m.on_packet(t(10), P1, 0);
+        m.on_packet(t(40), P2, 0);
+        m.on_packet(t(45), P2, 0);
+        m.on_frame_entered(t(45), 0, Some(d(60)), d(40));
+        let fb = m.take_feedback();
+        assert_eq!(fb.len(), 1);
+        assert_eq!(fb[0].path_id, 2);
+        assert_eq!(fb[0].alpha, -2);
+        assert_eq!(fb[0].fcd_micros, 40_000);
+    }
+
+    #[test]
+    fn early_packets_produce_positive_alpha() {
+        let mut m = monitor();
+        // P2's packets all arrive before P1's last → headroom on P2 even
+        // though the frame rate sagged (sender underfeeding).
+        m.on_packet(t(2), P2, 0);
+        m.on_packet(t(3), P2, 0);
+        m.on_packet(t(10), P1, 0);
+        m.on_frame_entered(t(10), 0, Some(d(60)), d(8));
+        let fb = m.take_feedback();
+        assert_eq!(fb.len(), 1);
+        assert_eq!(fb[0].path_id, 2);
+        assert_eq!(fb[0].alpha, 2);
+    }
+
+    #[test]
+    fn feedback_rate_limited() {
+        let mut m = monitor();
+        for frame in 0..5u64 {
+            let base = frame * 10;
+            m.on_packet(t(base), P1, frame);
+            m.on_packet(t(base + 5), P2, frame);
+            m.on_frame_entered(t(base + 5), frame, Some(d(60)), d(5));
+        }
+        // Frames arrive 10 ms apart; cooldown is 50 ms → only the first
+        // violation emits.
+        assert_eq!(m.take_feedback().len(), 1);
+    }
+
+    #[test]
+    fn first_frame_without_ifd_ignored() {
+        let mut m = monitor();
+        m.on_packet(t(0), P1, 0);
+        m.on_frame_entered(t(0), 0, None, d(0));
+        assert!(m.take_feedback().is_empty());
+    }
+
+    #[test]
+    fn expected_ifd_from_fps() {
+        let m = QoeMonitor::new(1, 30, P1);
+        assert_eq!(m.expected_ifd().as_micros(), 33_333);
+        let mut m = m;
+        m.set_frame_rate(24);
+        assert_eq!(m.expected_ifd().as_micros(), 41_666);
+    }
+
+    // ---- PathShare ----
+
+    fn pm(id: PathId, rate_mbps: u64) -> PathMetrics {
+        PathMetrics::new(id, rate_mbps * 1_000_000, d(50), 0.0)
+    }
+
+    fn no_caps() -> BTreeMap<PathId, usize> {
+        BTreeMap::new()
+    }
+
+    #[test]
+    fn split_matches_eq1_example() {
+        // Paper's example: rate1=15 Mbps, rate2=5 Mbps, 40 packets →
+        // 30 on P1, 10 on P2.
+        let mut s = PathShare::new();
+        let counts = s.split(40, &[pm(P1, 15), pm(P2, 5)], &no_caps());
+        assert_eq!(counts, vec![(P1, 30), (P2, 10)]);
+    }
+
+    #[test]
+    fn split_applies_alpha_offset() {
+        // Paper's example continued: feedback α = −5 for P2 → 35 on P1,
+        // 5 on P2.
+        let mut s = PathShare::new();
+        s.apply_feedback(P2, -5, d(20));
+        let counts = s.split(40, &[pm(P1, 15), pm(P2, 5)], &no_caps());
+        assert_eq!(counts, vec![(P1, 35), (P2, 5)]);
+    }
+
+    #[test]
+    fn split_respects_pmax() {
+        let mut s = PathShare::new();
+        let mut caps = BTreeMap::new();
+        caps.insert(P1, 25);
+        caps.insert(P2, 100);
+        let counts = s.split(40, &[pm(P1, 15), pm(P2, 5)], &caps);
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), 40);
+        let p1 = counts.iter().find(|(p, _)| *p == P1).unwrap().1;
+        assert!(p1 <= 25);
+    }
+
+    #[test]
+    fn split_always_sums_to_n() {
+        let mut s = PathShare::new();
+        s.apply_feedback(P2, -3, d(10));
+        for n in [0usize, 1, 7, 40, 100] {
+            let counts = s.split(n, &[pm(P1, 7), pm(P2, 3)], &no_caps());
+            assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn negative_offset_can_zero_a_path() {
+        let mut s = PathShare::new();
+        s.apply_feedback(P2, -100, d(10));
+        let counts = s.split(40, &[pm(P1, 15), pm(P2, 5)], &no_caps());
+        let p2 = counts.iter().find(|(p, _)| *p == P2).unwrap().1;
+        assert_eq!(p2, 0);
+    }
+
+    #[test]
+    fn disabled_path_excluded_from_split() {
+        let mut s = PathShare::new();
+        s.mark_disabled(P2, d(10));
+        let counts = s.split(40, &[pm(P1, 15), pm(P2, 5)], &no_caps());
+        assert_eq!(counts, vec![(P1, 40)]);
+        assert!(s.is_disabled(P2));
+    }
+
+    #[test]
+    fn reenable_follows_eq3() {
+        let mut s = PathShare::new();
+        s.apply_feedback(P2, -20, d(10));
+        s.mark_disabled(P2, d(10));
+        // RTT gap too large: (200−60)/2 = 70 ms > FCD 10 ms → stay disabled.
+        assert!(!s.try_reenable(P2, d(60), d(200)));
+        assert!(s.is_disabled(P2));
+        // Path recovered: (70−60)/2 = 5 ms ≤ 10 ms → re-enable, offset reset.
+        assert!(s.try_reenable(P2, d(60), d(70)));
+        assert!(!s.is_disabled(P2));
+        assert_eq!(s.offset(P2), 0);
+    }
+
+    #[test]
+    fn reenable_noop_when_not_disabled() {
+        let mut s = PathShare::new();
+        assert!(!s.try_reenable(P1, d(50), d(50)));
+    }
+
+    #[test]
+    fn offsets_decay_toward_zero() {
+        let mut s = PathShare::new();
+        s.apply_feedback(P2, -40, d(10));
+        assert_eq!(s.offset(P2), -40);
+        for _ in 0..200 {
+            s.decay_offsets();
+        }
+        assert_eq!(s.offset(P2), 0, "offset must fully decay");
+        // Positive offsets decay symmetrically.
+        s.apply_feedback(P1, 30, d(10));
+        let before = s.offset(P1);
+        s.decay_offsets();
+        assert!(s.offset(P1) < before && s.offset(P1) > 0);
+    }
+
+    #[test]
+    fn offsets_clamped_to_band() {
+        let mut s = PathShare::new();
+        for _ in 0..100 {
+            s.apply_feedback(P2, -100, d(10));
+        }
+        assert_eq!(s.offset(P2), -256, "negative clamp");
+        let mut s = PathShare::new();
+        for _ in 0..100 {
+            s.apply_feedback(P2, 50, d(10));
+        }
+        assert_eq!(s.offset(P2), 64, "positive clamp");
+    }
+
+    #[test]
+    fn all_paths_disabled_falls_back_to_proportional() {
+        let mut s = PathShare::new();
+        s.mark_disabled(P1, d(10));
+        s.mark_disabled(P2, d(10));
+        let counts = s.split(20, &[pm(P1, 10), pm(P2, 10)], &no_caps());
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), 20);
+        assert_eq!(counts.len(), 2);
+    }
+}

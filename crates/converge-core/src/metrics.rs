@@ -1,0 +1,84 @@
+//! Per-path state shared between the congestion controller and the
+//! schedulers.
+
+use converge_net::{PathId, SimDuration};
+
+/// A snapshot of one path's transport-level state, as derived from per-path
+//  GCC and RTCP statistics, consumed by every scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathMetrics {
+    /// Path identity.
+    pub id: PathId,
+    /// GCC sending rate `S_i` for this path, bits per second.
+    pub rate_bps: u64,
+    /// Smoothed round-trip time.
+    pub srtt: SimDuration,
+    /// Most recent loss fraction (0..=1).
+    pub loss: f64,
+    /// Whether the path is currently usable for media. Disabled paths
+    /// receive only probe duplicates (paper §4.2).
+    pub enabled: bool,
+}
+
+impl PathMetrics {
+    /// Convenience constructor for an enabled path.
+    pub fn new(id: PathId, rate_bps: u64, srtt: SimDuration, loss: f64) -> Self {
+        PathMetrics {
+            id,
+            rate_bps,
+            srtt,
+            loss,
+            enabled: true,
+        }
+    }
+
+    /// Effective goodput: the sending rate discounted by loss.
+    pub fn goodput_bps(&self) -> f64 {
+        self.rate_bps as f64 * (1.0 - self.loss.clamp(0.0, 1.0))
+    }
+}
+
+/// Sum of sending rates over enabled paths (the aggregate rate
+/// `Σ S_i` the encoder is driven by, §4.1).
+pub fn aggregate_rate_bps(paths: &[PathMetrics]) -> u64 {
+    paths.iter().filter(|p| p.enabled).map(|p| p.rate_bps).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm(id: u8, rate: u64, enabled: bool) -> PathMetrics {
+        PathMetrics {
+            id: PathId(id),
+            rate_bps: rate,
+            srtt: SimDuration::from_millis(50),
+            loss: 0.0,
+            enabled,
+        }
+    }
+
+    #[test]
+    fn aggregate_skips_disabled() {
+        let paths = [
+            pm(0, 5_000_000, true),
+            pm(1, 3_000_000, false),
+            pm(2, 2_000_000, true),
+        ];
+        assert_eq!(aggregate_rate_bps(&paths), 7_000_000);
+    }
+
+    #[test]
+    fn goodput_discounts_loss() {
+        let mut p = pm(0, 10_000_000, true);
+        p.loss = 0.1;
+        assert_eq!(p.goodput_bps(), 9_000_000.0);
+    }
+
+    #[test]
+    fn goodput_clamps_bad_loss() {
+        let mut p = pm(0, 10_000_000, true);
+        p.loss = 2.0;
+        assert_eq!(p.goodput_bps(), 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Packet priority levels (paper Table 2).
+//!
+//! The encoder exposes packet types to the scheduler; the scheduler sends
+//! prioritized packets over the fast path. Five levels exist, lower value =
+//! higher priority: retransmissions, keyframe media, SPS, PPS, FEC. Delta
+//! media has no priority level and is distributed by Eq. 1/2.
+
+use converge_video::{FrameType, PacketKind, VideoPacket};
+
+/// What a scheduled packet is, as the scheduler classifies it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketClass {
+    /// Retransmitted media packet answering a NACK.
+    Retransmission,
+    /// Media packet belonging to a keyframe.
+    KeyframeMedia,
+    /// Sequence Parameter Set (GOP-level decode parameters).
+    Sps,
+    /// Picture Parameter Set (frame-level decode parameters).
+    Pps,
+    /// XOR FEC repair packet.
+    Fec,
+    /// Media packet of a delta frame — no priority.
+    DeltaMedia,
+    /// Duplicate probe packet for a disabled path.
+    Probe,
+}
+
+impl PacketClass {
+    /// Priority level per Table 2 of the paper; `None` for non-priority
+    /// packets (delta media, probes).
+    pub fn priority(self) -> Option<u8> {
+        match self {
+            PacketClass::Retransmission => Some(1),
+            PacketClass::KeyframeMedia => Some(2),
+            PacketClass::Sps => Some(3),
+            PacketClass::Pps => Some(4),
+            PacketClass::Fec => Some(5),
+            PacketClass::DeltaMedia | PacketClass::Probe => None,
+        }
+    }
+
+    /// Whether the scheduler should steer this packet to the fast path.
+    pub fn is_priority(self) -> bool {
+        self.priority().is_some()
+    }
+}
+
+/// Classifies a freshly packetized video packet (retransmissions and FEC
+/// are classified at their creation sites, not here).
+pub fn classify(packet: &VideoPacket) -> PacketClass {
+    match packet.kind {
+        PacketKind::Sps => PacketClass::Sps,
+        PacketKind::Pps => PacketClass::Pps,
+        PacketKind::Media { .. } => match packet.frame_type {
+            FrameType::Key => PacketClass::KeyframeMedia,
+            FrameType::Delta => PacketClass::DeltaMedia,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use converge_net::SimTime;
+    use converge_video::StreamId;
+
+    fn pkt(kind: PacketKind, ft: FrameType) -> VideoPacket {
+        VideoPacket {
+            stream: StreamId(0),
+            sequence: 0,
+            frame_id: 0,
+            gop_id: 0,
+            frame_type: ft,
+            kind,
+            size: 1200,
+            capture_time: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn table2_ordering() {
+        // Retransmission > keyframe > SPS > PPS > FEC.
+        let order = [
+            PacketClass::Retransmission,
+            PacketClass::KeyframeMedia,
+            PacketClass::Sps,
+            PacketClass::Pps,
+            PacketClass::Fec,
+        ];
+        for w in order.windows(2) {
+            assert!(w[0].priority().unwrap() < w[1].priority().unwrap());
+        }
+    }
+
+    #[test]
+    fn delta_media_has_no_priority() {
+        assert_eq!(PacketClass::DeltaMedia.priority(), None);
+        assert!(!PacketClass::DeltaMedia.is_priority());
+        assert_eq!(PacketClass::Probe.priority(), None);
+    }
+
+    #[test]
+    fn classify_keyframe_media() {
+        let p = pkt(PacketKind::Media { index: 0, count: 4 }, FrameType::Key);
+        assert_eq!(classify(&p), PacketClass::KeyframeMedia);
+    }
+
+    #[test]
+    fn classify_delta_media() {
+        let p = pkt(PacketKind::Media { index: 0, count: 4 }, FrameType::Delta);
+        assert_eq!(classify(&p), PacketClass::DeltaMedia);
+    }
+
+    #[test]
+    fn classify_control_packets() {
+        assert_eq!(
+            classify(&pkt(PacketKind::Sps, FrameType::Key)),
+            PacketClass::Sps
+        );
+        assert_eq!(
+            classify(&pkt(PacketKind::Pps, FrameType::Delta)),
+            PacketClass::Pps
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Inter-arrival filter: turns per-packet (send, arrival) timestamps into
+//! inter-group delay-variation samples, the raw input of the delay-based
+//! controller (Carlucci et al., MMSys '16, §3).
+//!
+//! Packets sent within a short burst window form a "group"; for each pair
+//! of consecutive groups the filter emits
+//! `d = (arrival_j − arrival_i) − (send_j − send_i)`, the one-way delay
+//! gradient accumulated while the groups crossed the bottleneck.
+
+use converge_net::{SimDuration, SimTime};
+
+/// One packet's timing as reported by transport feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketTiming {
+    /// When the sender put it on the wire.
+    pub send_time: SimTime,
+    /// When the receiver saw it.
+    pub arrival_time: SimTime,
+    /// Wire size, bytes.
+    pub size: usize,
+}
+
+/// A delay-variation sample between two packet groups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelaySample {
+    /// Arrival time of the later group (sample timestamp).
+    pub at: SimTime,
+    /// Delay variation in milliseconds (positive = queues growing).
+    pub delta_ms: f64,
+    /// Send-time gap between the groups, milliseconds.
+    pub send_gap_ms: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Group {
+    first_send: SimTime,
+    last_send: SimTime,
+    last_arrival: SimTime,
+}
+
+/// Groups packets and emits delay-variation samples.
+#[derive(Debug, Default)]
+pub struct InterArrival {
+    current: Option<Group>,
+    previous: Option<Group>,
+}
+
+impl InterArrival {
+    /// Burst window: packets sent within this span belong to one group.
+    pub const BURST_WINDOW: SimDuration = SimDuration::from_millis(5);
+
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one packet (must be offered in arrival order); returns a
+    /// sample whenever a group boundary is crossed.
+    pub fn on_packet(&mut self, p: PacketTiming) -> Option<DelaySample> {
+        match self.current {
+            None => {
+                self.current = Some(Group {
+                    first_send: p.send_time,
+                    last_send: p.send_time,
+                    last_arrival: p.arrival_time,
+                });
+                None
+            }
+            Some(ref mut g) => {
+                let in_burst = p.send_time.saturating_since(g.first_send) <= Self::BURST_WINDOW;
+                if in_burst {
+                    g.last_send = g.last_send.max(p.send_time);
+                    g.last_arrival = g.last_arrival.max(p.arrival_time);
+                    return None;
+                }
+                // Close the current group, start a new one.
+                let finished = *g;
+                let sample = self.previous.map(|prev| {
+                    let arrival_gap = finished
+                        .last_arrival
+                        .saturating_since(prev.last_arrival)
+                        .as_micros() as f64;
+                    let send_gap = finished
+                        .last_send
+                        .saturating_since(prev.last_send)
+                        .as_micros() as f64;
+                    DelaySample {
+                        at: finished.last_arrival,
+                        delta_ms: (arrival_gap - send_gap) / 1_000.0,
+                        send_gap_ms: send_gap / 1_000.0,
+                    }
+                });
+                self.previous = Some(finished);
+                self.current = Some(Group {
+                    first_send: p.send_time,
+                    last_send: p.send_time,
+                    last_arrival: p.arrival_time,
+                });
+                sample
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn pkt(send_ms: u64, arrival_ms: u64) -> PacketTiming {
+        PacketTiming {
+            send_time: t(send_ms),
+            arrival_time: t(arrival_ms),
+            size: 1200,
+        }
+    }
+
+    #[test]
+    fn constant_delay_gives_zero_samples() {
+        let mut f = InterArrival::new();
+        let mut samples = Vec::new();
+        for i in 0..10 {
+            if let Some(s) = f.on_packet(pkt(i * 20, i * 20 + 30)) {
+                samples.push(s);
+            }
+        }
+        assert!(!samples.is_empty());
+        for s in samples {
+            assert_eq!(s.delta_ms, 0.0);
+        }
+    }
+
+    #[test]
+    fn growing_queue_gives_positive_samples() {
+        let mut f = InterArrival::new();
+        let mut samples = Vec::new();
+        // Arrival delay grows 2 ms per packet.
+        for i in 0..10u64 {
+            if let Some(s) = f.on_packet(pkt(i * 20, i * 20 + 30 + i * 2)) {
+                samples.push(s);
+            }
+        }
+        assert!(samples.iter().all(|s| s.delta_ms > 0.0), "{samples:?}");
+    }
+
+    #[test]
+    fn draining_queue_gives_negative_samples() {
+        let mut f = InterArrival::new();
+        let mut samples = Vec::new();
+        for i in 0..10u64 {
+            let extra = 20u64.saturating_sub(i * 2);
+            if let Some(s) = f.on_packet(pkt(i * 20, i * 20 + 30 + extra)) {
+                samples.push(s);
+            }
+        }
+        assert!(samples.iter().all(|s| s.delta_ms < 0.0), "{samples:?}");
+    }
+
+    #[test]
+    fn burst_packets_grouped() {
+        let mut f = InterArrival::new();
+        // Three packets sent within 5 ms: one group; no sample until the
+        // next group closes, so the first boundary yields nothing (needs a
+        // previous group), the second yields one.
+        assert!(f.on_packet(pkt(0, 30)).is_none());
+        assert!(f.on_packet(pkt(2, 31)).is_none());
+        assert!(f.on_packet(pkt(4, 32)).is_none());
+        assert!(f.on_packet(pkt(20, 50)).is_none()); // closes group 1
+        let s = f.on_packet(pkt(40, 70)); // closes group 2 → sample
+        assert!(s.is_some());
+    }
+
+    #[test]
+    fn sample_measures_group_gap() {
+        let mut f = InterArrival::new();
+        f.on_packet(pkt(0, 100));
+        f.on_packet(pkt(20, 125)); // gap send 20, arrival 25 → +5
+        let s = f.on_packet(pkt(40, 145)).unwrap();
+        assert_eq!(s.delta_ms, 5.0);
+        assert_eq!(s.send_gap_ms, 20.0);
+        assert_eq!(s.at, t(125));
+    }
+}

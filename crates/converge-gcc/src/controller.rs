@@ -1,0 +1,315 @@
+//! The per-path GCC controller: combines the delay-based pipeline
+//! (inter-arrival filter → trendline estimator → AIMD) with the loss-based
+//! controller and RTT tracking. Converge runs one instance per path
+//! (uncoupled congestion control, paper §4.1).
+
+use converge_net::{SimDuration, SimTime};
+
+use crate::aimd::{AimdConfig, AimdController};
+use crate::arrival::{InterArrival, PacketTiming};
+use crate::loss_based::{LossBasedConfig, LossBasedController};
+use crate::trendline::{TrendlineConfig, TrendlineEstimator};
+
+/// Configuration of one per-path controller.
+#[derive(Debug, Clone, Copy)]
+pub struct GccConfig {
+    /// Starting estimate, bps.
+    pub initial_rate_bps: f64,
+    /// Trendline/overuse detector settings.
+    pub trendline: TrendlineConfig,
+    /// AIMD settings.
+    pub aimd: AimdConfig,
+    /// Loss-based settings.
+    pub loss: LossBasedConfig,
+    /// Window over which the incoming rate is measured.
+    pub rate_window: SimDuration,
+}
+
+impl Default for GccConfig {
+    fn default() -> Self {
+        GccConfig {
+            initial_rate_bps: 1_000_000.0,
+            trendline: TrendlineConfig::default(),
+            aimd: AimdConfig::default(),
+            loss: LossBasedConfig::default(),
+            rate_window: SimDuration::from_millis(1_000),
+        }
+    }
+}
+
+/// Per-path Google Congestion Control.
+#[derive(Debug)]
+pub struct GccController {
+    config: GccConfig,
+    arrival: InterArrival,
+    trendline: TrendlineEstimator,
+    aimd: AimdController,
+    loss: LossBasedController,
+    /// (arrival time, bytes) of recent packets for goodput measurement.
+    recent: std::collections::VecDeque<(SimTime, usize)>,
+    srtt: Option<SimDuration>,
+    last_fraction_lost: f64,
+}
+
+impl GccController {
+    /// Creates a controller.
+    pub fn new(config: GccConfig) -> Self {
+        GccController {
+            config,
+            arrival: InterArrival::new(),
+            trendline: TrendlineEstimator::new(config.trendline),
+            aimd: AimdController::new(config.aimd, config.initial_rate_bps),
+            loss: LossBasedController::new(config.loss, config.initial_rate_bps),
+            recent: std::collections::VecDeque::new(),
+            srtt: None,
+            last_fraction_lost: 0.0,
+        }
+    }
+
+    /// Smoothed RTT of the path, if measured.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Most recent loss fraction reported for the path.
+    pub fn fraction_lost(&self) -> f64 {
+        self.last_fraction_lost
+    }
+
+    /// The controller's current target rate: the minimum of the delay-based
+    /// and loss-based estimates (the GCC combination rule).
+    pub fn target_rate_bps(&self) -> u64 {
+        self.aimd.estimate_bps().min(self.loss.estimate_bps()) as u64
+    }
+
+    /// Measured incoming goodput over the rate window ending at `now`.
+    ///
+    /// Early in a path's life the window is shortened to the span actually
+    /// observed (floored at 100 ms) so start-up is not under-measured.
+    pub fn incoming_rate_bps(&self, now: SimTime) -> f64 {
+        let window_start = SimTime::from_micros(
+            now.as_micros()
+                .saturating_sub(self.config.rate_window.as_micros()),
+        );
+        let Some(&(first_at, _)) = self.recent.front() else {
+            return 0.0;
+        };
+        let effective_start = window_start.max(first_at);
+        let span = now
+            .saturating_since(effective_start)
+            .max(SimDuration::from_millis(100));
+        let bytes: usize = self
+            .recent
+            .iter()
+            .filter(|(at, _)| *at >= effective_start)
+            .map(|(_, b)| *b)
+            .sum();
+        bytes as f64 * 8.0 / span.as_secs_f64()
+    }
+
+    /// Feeds an RTT sample (from SR/RR or probe timing).
+    pub fn on_rtt_sample(&mut self, rtt: SimDuration) {
+        self.srtt = Some(match self.srtt {
+            None => rtt,
+            // srtt = 7/8 srtt + 1/8 sample, in integer microseconds.
+            Some(prev) => SimDuration::from_micros((prev.as_micros() * 7 + rtt.as_micros()) / 8),
+        });
+    }
+
+    /// Feeds transport feedback: the send/arrival timing of packets that
+    /// reached the receiver on this path. `now` is the feedback processing
+    /// time at the sender.
+    pub fn on_transport_feedback(&mut self, now: SimTime, packets: &[PacketTiming]) {
+        for p in packets {
+            self.recent.push_back((p.arrival_time, p.size));
+            if let Some(sample) = self.arrival.on_packet(*p) {
+                self.trendline.on_sample(sample);
+            }
+        }
+        // Trim the goodput window.
+        let keep_from = SimTime::from_micros(
+            now.as_micros()
+                .saturating_sub(self.config.rate_window.as_micros() * 2),
+        );
+        while let Some(&(at, _)) = self.recent.front() {
+            if at < keep_from {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        let incoming = self.incoming_rate_bps(now);
+        let rtt_ms = self
+            .srtt
+            .map(|d| d.as_micros() as f64 / 1_000.0)
+            .unwrap_or(100.0);
+        let delay_estimate = self
+            .aimd
+            .update(now, self.trendline.state(), incoming, rtt_ms);
+        // Keep the loss-based side from floating far above the delay side.
+        self.loss.cap_to(delay_estimate * 2.0);
+    }
+
+    /// Sets the AIMD growth-step scale (coupled congestion control).
+    pub fn set_increase_scale(&mut self, scale: f64) {
+        self.aimd.set_increase_scale(scale);
+    }
+
+    /// Current delay-based estimate (exposed for coupling computations).
+    pub fn delay_estimate_bps(&self) -> f64 {
+        self.aimd.estimate_bps()
+    }
+
+    /// Pulls both estimates down to at most `bps`. Called while a path is
+    /// administratively disabled: no media flows, so the delay/loss signals
+    /// go silent and the estimate would otherwise stay stale-high, causing
+    /// a burst when the path is re-enabled (Eq. 3).
+    pub fn cap_estimate(&mut self, bps: f64) {
+        self.aimd.cap_to(bps);
+        self.loss.cap_to(bps);
+    }
+
+    /// Feeds a receiver-report loss fraction (0..=1).
+    pub fn on_loss_report(&mut self, fraction_lost: f64) {
+        self.on_loss_report_protected(fraction_lost, 0.0);
+    }
+
+    /// Feeds a loss report together with the sender's current FEC
+    /// protection ratio (repair/media). The raw loss is kept for path
+    /// statistics (and drives the FEC rate), but the loss-based rate
+    /// controller sees only the loss that protection cannot absorb —
+    /// matching WebRTC's media optimizer, which discounts protected loss
+    /// so FEC-covered paths are not starved by the rate controller.
+    pub fn on_loss_report_protected(&mut self, fraction_lost: f64, protection_ratio: f64) {
+        self.last_fraction_lost = fraction_lost.clamp(0.0, 1.0);
+        let effective = (self.last_fraction_lost - protection_ratio.max(0.0)).max(0.0);
+        self.loss.on_loss_report(effective);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feedback_at_rate(
+        ctl: &mut GccController,
+        start_ms: u64,
+        duration_ms: u64,
+        rate_bps: f64,
+        queue_growth_ms_per_pkt: f64,
+    ) {
+        // Simulate packets of 1200 bytes arriving at `rate_bps`, optionally
+        // with growing one-way delay.
+        let pkt_interval_us = (1200.0 * 8.0 / rate_bps * 1e6) as u64;
+        let n = (duration_ms * 1_000 / pkt_interval_us.max(1)) as usize;
+        let mut batch = Vec::new();
+        for i in 0..n {
+            let send = SimTime::from_micros(start_ms * 1_000 + i as u64 * pkt_interval_us);
+            let delay_us = 30_000 + (i as f64 * queue_growth_ms_per_pkt * 1_000.0) as u64;
+            batch.push(PacketTiming {
+                send_time: send,
+                arrival_time: send + SimDuration::from_micros(delay_us),
+                size: 1200,
+            });
+            if batch.len() == 10 {
+                let now = batch.last().unwrap().arrival_time;
+                ctl.on_transport_feedback(now, &batch);
+                batch.clear();
+            }
+        }
+    }
+
+    #[test]
+    fn starts_at_initial_rate() {
+        let ctl = GccController::new(GccConfig::default());
+        assert_eq!(ctl.target_rate_bps(), 1_000_000);
+    }
+
+    #[test]
+    fn ramps_up_on_clean_path() {
+        let mut ctl = GccController::new(GccConfig::default());
+        ctl.on_rtt_sample(SimDuration::from_millis(60));
+        // 10 seconds of clean 8 Mbps arrivals, stable delay, with
+        // loss-free receiver reports every 100 ms as RTCP would deliver.
+        for sec in 0..10 {
+            feedback_at_rate(&mut ctl, sec * 1_000, 1_000, 8_000_000.0, 0.0);
+            for _ in 0..10 {
+                ctl.on_loss_report(0.0);
+            }
+        }
+        assert!(
+            ctl.target_rate_bps() > 3_000_000,
+            "rate {}",
+            ctl.target_rate_bps()
+        );
+    }
+
+    #[test]
+    fn backs_off_when_queues_grow() {
+        let mut ctl = GccController::new(GccConfig::default());
+        ctl.on_rtt_sample(SimDuration::from_millis(60));
+        for sec in 0..5 {
+            feedback_at_rate(&mut ctl, sec * 1_000, 1_000, 5_000_000.0, 0.0);
+            for _ in 0..10 {
+                ctl.on_loss_report(0.0);
+            }
+        }
+        let before = ctl.target_rate_bps();
+        // Now delay grows steadily — bottleneck overloaded.
+        feedback_at_rate(&mut ctl, 5_000, 3_000, 5_000_000.0, 0.5);
+        let after = ctl.target_rate_bps();
+        assert!(after < before, "before {before} after {after}");
+    }
+
+    #[test]
+    fn heavy_loss_cuts_rate() {
+        let mut ctl = GccController::new(GccConfig::default());
+        feedback_at_rate(&mut ctl, 0, 3_000, 5_000_000.0, 0.0);
+        let before = ctl.target_rate_bps();
+        for _ in 0..5 {
+            ctl.on_loss_report(0.3);
+        }
+        assert!(ctl.target_rate_bps() < before);
+        assert!((ctl.fraction_lost() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_is_min_of_estimates() {
+        let mut ctl = GccController::new(GccConfig::default());
+        // Grow delay-based estimate high.
+        feedback_at_rate(&mut ctl, 0, 10_000, 9_000_000.0, 0.0);
+        // Then crush the loss-based one.
+        for _ in 0..30 {
+            ctl.on_loss_report(0.5);
+        }
+        let target = ctl.target_rate_bps();
+        assert!(target <= 1_000_000, "target {target}");
+    }
+
+    #[test]
+    fn srtt_smooths() {
+        let mut ctl = GccController::new(GccConfig::default());
+        ctl.on_rtt_sample(SimDuration::from_millis(100));
+        ctl.on_rtt_sample(SimDuration::from_millis(200));
+        let srtt = ctl.srtt().unwrap().as_millis();
+        // 7/8*100 + 1/8*200 = 112.5
+        assert_eq!(srtt, 112);
+    }
+
+    #[test]
+    fn incoming_rate_measures_window() {
+        let mut ctl = GccController::new(GccConfig::default());
+        let pkts: Vec<PacketTiming> = (0..100)
+            .map(|i| PacketTiming {
+                send_time: SimTime::from_millis(i * 10),
+                arrival_time: SimTime::from_millis(i * 10 + 30),
+                size: 1250,
+            })
+            .collect();
+        ctl.on_transport_feedback(SimTime::from_millis(1_030), &pkts);
+        // 100 pkts * 1250 B over the last second window: 1 Mbps.
+        let rate = ctl.incoming_rate_bps(SimTime::from_millis(1_030));
+        assert!((rate - 1_000_000.0).abs() < 30_000.0, "rate {rate}");
+    }
+}

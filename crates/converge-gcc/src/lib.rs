@@ -1,0 +1,34 @@
+//! # converge-gcc
+//!
+//! A from-scratch implementation of Google Congestion Control (GCC), the
+//! rate controller WebRTC uses, following the published design (Carlucci
+//! et al., "Analysis and Design of the Google Congestion Control for Web
+//! Real-Time Communication", MMSys 2016):
+//!
+//! - [`arrival`]: inter-arrival filter grouping packets and emitting
+//!   one-way delay-variation samples.
+//! - [`trendline`]: trendline estimator + adaptive-threshold overuse
+//!   detector (underuse / normal / overuse).
+//! - [`aimd`]: the Hold/Increase/Decrease remote-rate AIMD controller.
+//! - [`loss_based`]: the loss-report-driven sender-side controller.
+//! - [`controller`]: the per-path combination (target = min of the two),
+//!   plus RTT and goodput tracking.
+//!
+//! Converge extends GCC "for every available path" (paper section 4.1);
+//! the scheduler in `converge-core` instantiates one [`GccController`]
+//! per path — uncoupled congestion control.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aimd;
+pub mod arrival;
+pub mod controller;
+pub mod loss_based;
+pub mod trendline;
+
+pub use aimd::{AimdConfig, AimdController, RateState};
+pub use arrival::{DelaySample, InterArrival, PacketTiming};
+pub use controller::{GccConfig, GccController};
+pub use loss_based::{LossBasedConfig, LossBasedController};
+pub use trendline::{BandwidthUsage, TrendlineConfig, TrendlineEstimator};

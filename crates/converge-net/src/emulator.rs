@@ -1,0 +1,270 @@
+//! Multipath network emulator.
+//!
+//! [`NetworkEmulator`] wires a set of [`Path`]s between two endpoints and
+//! stores in-flight payloads so callers work in terms of "send payload on
+//! path N, poll for arrivals" rather than raw delivery times. Payloads are
+//! generic; the emulator never inspects them.
+
+use crate::event::EventQueue;
+use crate::link::Transmit;
+use crate::path::{Direction, Path, PathId};
+use crate::time::SimTime;
+
+/// A payload delivered by the emulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<P> {
+    /// Path the payload travelled on.
+    pub path: PathId,
+    /// Direction it travelled.
+    pub direction: Direction,
+    /// Instant it arrived at the far end.
+    pub at: SimTime,
+    /// Instant it was sent.
+    pub sent_at: SimTime,
+    /// The payload itself.
+    pub payload: P,
+}
+
+/// Fate of a send as reported to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Accepted; it will appear in a later [`NetworkEmulator::poll`].
+    Enqueued,
+    /// Dropped by the drop-tail queue.
+    QueueDrop,
+    /// Lost stochastically in flight.
+    RandomLoss,
+}
+
+impl SendOutcome {
+    /// Whether the packet was lost (either way).
+    pub fn is_lost(self) -> bool {
+        !matches!(self, SendOutcome::Enqueued)
+    }
+}
+
+struct InFlight<P> {
+    path: PathId,
+    direction: Direction,
+    sent_at: SimTime,
+    payload: P,
+}
+
+/// A multipath emulator between two endpoints.
+pub struct NetworkEmulator<P> {
+    paths: Vec<Path>,
+    queue: EventQueue<InFlight<P>>,
+}
+
+impl<P> NetworkEmulator<P> {
+    /// Creates an emulator over the given paths.
+    ///
+    /// # Panics
+    /// Panics if paths have duplicate IDs.
+    pub fn new(paths: Vec<Path>) -> Self {
+        for (i, a) in paths.iter().enumerate() {
+            for b in &paths[i + 1..] {
+                assert!(a.id() != b.id(), "duplicate path id {}", a.id());
+            }
+        }
+        NetworkEmulator {
+            paths,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Number of configured paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// IDs of all configured paths.
+    pub fn path_ids(&self) -> Vec<PathId> {
+        self.paths.iter().map(|p| p.id()).collect()
+    }
+
+    /// Borrows a path by ID.
+    pub fn path(&self, id: PathId) -> Option<&Path> {
+        self.paths.iter().find(|p| p.id() == id)
+    }
+
+    /// Mutably borrows a path by ID.
+    pub fn path_mut(&mut self, id: PathId) -> Option<&mut Path> {
+        self.paths.iter_mut().find(|p| p.id() == id)
+    }
+
+    /// Sends `payload` of `bytes` over `path` in `direction` at `now`.
+    ///
+    /// On loss the payload is returned to the caller inside the outcome so
+    /// tests can assert on what was lost without cloning.
+    pub fn send(
+        &mut self,
+        path: PathId,
+        direction: Direction,
+        now: SimTime,
+        bytes: usize,
+        payload: P,
+    ) -> (SendOutcome, Option<P>) {
+        let Some(p) = self.paths.iter_mut().find(|p| p.id() == path) else {
+            panic!("send on unknown {path}");
+        };
+        match p.transmit(direction, now, bytes) {
+            Transmit::Delivered(at) => {
+                self.queue.schedule(
+                    at,
+                    InFlight {
+                        path,
+                        direction,
+                        sent_at: now,
+                        payload,
+                    },
+                );
+                (SendOutcome::Enqueued, None)
+            }
+            Transmit::QueueDrop => (SendOutcome::QueueDrop, Some(payload)),
+            Transmit::RandomLoss => (SendOutcome::RandomLoss, Some(payload)),
+        }
+    }
+
+    /// The arrival time of the next pending delivery, if any.
+    pub fn next_arrival(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops every delivery due at or before `now`, in arrival order.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Delivery<P>> {
+        let mut out = Vec::new();
+        while let Some((at, f)) = self.queue.pop_due(now) {
+            out.push(Delivery {
+                path: f.path,
+                direction: f.direction,
+                at,
+                sent_at: f.sent_at,
+                payload: f.payload,
+            });
+        }
+        out
+    }
+
+    /// Whether any payloads remain in flight.
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::time::SimDuration;
+    use crate::trace::RateTrace;
+
+    fn two_path_emu() -> NetworkEmulator<u32> {
+        let fast = LinkConfig {
+            rate: RateTrace::constant(10_000_000),
+            propagation: SimDuration::from_millis(10),
+            queue_capacity_bytes: 1_000_000,
+            loss: crate::loss::LossModel::None,
+            jitter: SimDuration::ZERO,
+            discipline: crate::aqm::QueueDiscipline::DropTail,
+            seed: 1,
+        };
+        let slow = LinkConfig {
+            rate: RateTrace::constant(1_000_000),
+            propagation: SimDuration::from_millis(50),
+            queue_capacity_bytes: 1_000_000,
+            loss: crate::loss::LossModel::None,
+            jitter: SimDuration::ZERO,
+            discipline: crate::aqm::QueueDiscipline::DropTail,
+            seed: 2,
+        };
+        NetworkEmulator::new(vec![
+            Path::symmetric(PathId(0), fast),
+            Path::symmetric(PathId(1), slow),
+        ])
+    }
+
+    #[test]
+    fn delivers_in_arrival_order_across_paths() {
+        let mut emu = two_path_emu();
+        // Slow path first chronologically, but fast path arrives earlier.
+        emu.send(PathId(1), Direction::Forward, SimTime::ZERO, 1250, 11);
+        emu.send(PathId(0), Direction::Forward, SimTime::ZERO, 1250, 22);
+        let all = emu.poll(SimTime::from_secs(1));
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].payload, 22); // fast: 1ms + 10ms = 11ms
+        assert_eq!(all[1].payload, 11); // slow: 10ms + 50ms = 60ms
+        assert_eq!(all[0].at.as_millis(), 11);
+        assert_eq!(all[1].at.as_millis(), 60);
+    }
+
+    #[test]
+    fn poll_only_returns_due_deliveries() {
+        let mut emu = two_path_emu();
+        emu.send(PathId(0), Direction::Forward, SimTime::ZERO, 1250, 1);
+        assert!(emu.poll(SimTime::from_millis(5)).is_empty());
+        assert_eq!(emu.poll(SimTime::from_millis(11)).len(), 1);
+        assert!(emu.idle());
+    }
+
+    #[test]
+    fn lost_payload_returned_to_caller() {
+        let cfg = LinkConfig {
+            rate: RateTrace::constant(1_000_000),
+            propagation: SimDuration::ZERO,
+            queue_capacity_bytes: 1_000,
+            loss: crate::loss::LossModel::None,
+            jitter: SimDuration::ZERO,
+            discipline: crate::aqm::QueueDiscipline::DropTail,
+            seed: 1,
+        };
+        let mut emu: NetworkEmulator<&str> =
+            NetworkEmulator::new(vec![Path::symmetric(PathId(0), cfg)]);
+        emu.send(PathId(0), Direction::Forward, SimTime::ZERO, 1_000, "kept");
+        let (outcome, returned) = emu.send(
+            PathId(0),
+            Direction::Forward,
+            SimTime::ZERO,
+            1_000,
+            "dropped",
+        );
+        assert_eq!(outcome, SendOutcome::QueueDrop);
+        assert_eq!(returned, Some("dropped"));
+        assert!(outcome.is_lost());
+    }
+
+    #[test]
+    fn reverse_direction_flows_independently() {
+        let mut emu = two_path_emu();
+        emu.send(PathId(0), Direction::Reverse, SimTime::ZERO, 100, 9);
+        let all = emu.poll(SimTime::from_secs(1));
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].direction, Direction::Reverse);
+        assert_eq!(all[0].sent_at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn next_arrival_peeks() {
+        let mut emu = two_path_emu();
+        assert_eq!(emu.next_arrival(), None);
+        emu.send(PathId(0), Direction::Forward, SimTime::ZERO, 1250, 1);
+        assert_eq!(emu.next_arrival().unwrap().as_millis(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate path id")]
+    fn duplicate_ids_rejected() {
+        let cfg = LinkConfig::default();
+        let _ = NetworkEmulator::<()>::new(vec![
+            Path::symmetric(PathId(0), cfg.clone()),
+            Path::symmetric(PathId(0), cfg),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown path")]
+    fn unknown_path_panics() {
+        let mut emu = two_path_emu();
+        emu.send(PathId(9), Direction::Forward, SimTime::ZERO, 1, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # converge-net
+//!
+//! Deterministic discrete-event multipath network emulation — the substrate
+//! under the Converge (SIGCOMM 2023) reproduction. The paper evaluates on
+//! emulated cellular paths driven by bandwidth traces; this crate provides
+//! the same capability on one machine:
+//!
+//! - [`time`]: fixed-point microsecond simulation clock.
+//! - [`event`]: deterministic FIFO-tie-breaking event queue.
+//! - [`trace`]: piecewise-constant bandwidth traces + synthetic generators
+//!   for the stationary / walking / driving scenarios of the paper's
+//!   Figs. 20-22.
+//! - [`loss`]: Bernoulli and Gilbert-Elliott loss models.
+//! - [`aqm`]: queue disciplines — drop-tail and CoDel controlled delay.
+//! - [`link`]: one link direction — disciplined queue, trace-driven
+//!   bottleneck, propagation delay, jitter, loss stage.
+//! - [`path`]: bidirectional path with a stable [`path::PathId`].
+//! - [`emulator`]: multipath emulator holding payloads in flight.
+//!
+//! Everything is seeded and synchronous: a run is a pure function of its
+//! configuration, which is what makes the paper's experiments reproducible
+//! bit-for-bit here.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aqm;
+pub mod emulator;
+pub mod event;
+pub mod link;
+pub mod loss;
+pub mod path;
+pub mod time;
+pub mod trace;
+
+pub use aqm::{Codel, QueueDiscipline};
+pub use emulator::{Delivery, NetworkEmulator, SendOutcome};
+pub use link::{Link, LinkConfig, LinkStats, Transmit};
+pub use loss::{LossModel, LossProcess};
+pub use path::{Direction, Path, PathId};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Carrier, RateTrace, Scenario};

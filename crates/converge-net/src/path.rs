@@ -1,0 +1,148 @@
+//! Bidirectional network paths.
+//!
+//! A [`Path`] is a pair of [`Link`]s — forward (sender→receiver) and reverse
+//! (receiver→sender, used for RTCP feedback). Paths are the unit over which
+//! the Converge scheduler makes decisions; each carries a stable [`PathId`].
+
+use crate::link::{Link, LinkConfig, LinkStats, Transmit};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a network path within a session (matches the path ID field
+/// of the paper's RTP/RTCP multipath header extensions).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct PathId(pub u8);
+
+impl std::fmt::Display for PathId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "path{}", self.0)
+    }
+}
+
+/// Direction of travel over a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Sender → receiver (media).
+    Forward,
+    /// Receiver → sender (feedback).
+    Reverse,
+}
+
+/// A bidirectional emulated path.
+#[derive(Debug, Clone)]
+pub struct Path {
+    id: PathId,
+    forward: Link,
+    reverse: Link,
+}
+
+impl Path {
+    /// Creates a path from two link configurations.
+    pub fn new(id: PathId, forward: LinkConfig, reverse: LinkConfig) -> Self {
+        Path {
+            id,
+            forward: Link::new(forward),
+            reverse: Link::new(reverse),
+        }
+    }
+
+    /// Creates a path whose reverse direction mirrors the forward
+    /// configuration but with an effectively uncongested queue — feedback
+    /// traffic is tiny relative to media.
+    pub fn symmetric(id: PathId, forward: LinkConfig) -> Self {
+        let mut reverse = forward.clone();
+        reverse.queue_capacity_bytes = reverse.queue_capacity_bytes.max(1_000_000);
+        reverse.seed = forward.seed.wrapping_add(0x5EED);
+        Path::new(id, forward, reverse)
+    }
+
+    /// This path's identifier.
+    pub fn id(&self) -> PathId {
+        self.id
+    }
+
+    /// Borrows the link for a direction.
+    pub fn link(&self, dir: Direction) -> &Link {
+        match dir {
+            Direction::Forward => &self.forward,
+            Direction::Reverse => &self.reverse,
+        }
+    }
+
+    /// Mutably borrows the link for a direction.
+    pub fn link_mut(&mut self, dir: Direction) -> &mut Link {
+        match dir {
+            Direction::Forward => &mut self.forward,
+            Direction::Reverse => &mut self.reverse,
+        }
+    }
+
+    /// Offers a packet to one direction of the path.
+    pub fn transmit(&mut self, dir: Direction, now: SimTime, bytes: usize) -> Transmit {
+        self.link_mut(dir).transmit(now, bytes)
+    }
+
+    /// Ground-truth round-trip propagation delay (no queuing), useful for
+    /// test assertions.
+    pub fn base_rtt(&self) -> SimDuration {
+        self.forward.propagation() + self.reverse.propagation()
+    }
+
+    /// Stats for one direction.
+    pub fn stats(&self, dir: Direction) -> LinkStats {
+        self.link(dir).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RateTrace;
+
+    fn cfg(rate_bps: u64, prop_ms: u64) -> LinkConfig {
+        LinkConfig {
+            rate: RateTrace::constant(rate_bps),
+            propagation: SimDuration::from_millis(prop_ms),
+            queue_capacity_bytes: 1_000_000,
+            loss: crate::loss::LossModel::None,
+            jitter: SimDuration::ZERO,
+            discipline: crate::aqm::QueueDiscipline::DropTail,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut p = Path::new(PathId(0), cfg(10_000_000, 10), cfg(1_000_000, 10));
+        let f = p.transmit(Direction::Forward, SimTime::ZERO, 1250);
+        let r = p.transmit(Direction::Reverse, SimTime::ZERO, 1250);
+        // Forward: 1 ms serialize + 10 ms prop; reverse: 10 ms serialize + 10 ms prop.
+        assert_eq!(f, Transmit::Delivered(SimTime::from_millis(11)));
+        assert_eq!(r, Transmit::Delivered(SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn base_rtt_sums_propagation() {
+        let p = Path::new(PathId(1), cfg(1, 30), cfg(1, 20));
+        assert_eq!(p.base_rtt().as_millis(), 50);
+    }
+
+    #[test]
+    fn symmetric_path_keeps_forward_rate() {
+        let mut p = Path::symmetric(PathId(2), cfg(10_000_000, 5));
+        assert_eq!(
+            p.link(Direction::Reverse).rate_at(SimTime::ZERO),
+            10_000_000
+        );
+        // Different seeds on each direction keep loss draws independent.
+        let f = p.link_mut(Direction::Forward).config().seed;
+        let r = p.link_mut(Direction::Reverse).config().seed;
+        assert_ne!(f, r);
+    }
+
+    #[test]
+    fn path_id_displays() {
+        assert_eq!(PathId(3).to_string(), "path3");
+    }
+}

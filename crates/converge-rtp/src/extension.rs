@@ -1,0 +1,192 @@
+//! The Converge multipath RTP header extension (paper Fig. 18).
+//!
+//! The paper extends RTP with three fields so the receiver can demultiplex
+//! and re-order per path: a path ID, a flow-level (per-path) media sequence
+//! number, and a flow-level transport-wide sequence number. We carry them in
+//! a single RFC 5285 one-byte-form extension block with three elements.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::packet::ParseError;
+
+/// The Converge multipath extension carried on every multipath RTP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct MultipathExtension {
+    /// Which path the packet was sent on.
+    pub path_id: u8,
+    /// Per-path media sequence number ("MpSequenceNumber" in Fig. 18).
+    pub mp_sequence: u16,
+    /// Per-path transport-wide sequence number used by per-path GCC
+    /// ("MpTransportSequenceNumber").
+    pub mp_transport_sequence: u16,
+}
+
+impl MultipathExtension {
+    /// RFC 5285 "one-byte form" profile value.
+    pub const PROFILE_ID: u16 = 0xBEDE;
+    /// Element IDs within the extension block.
+    const ID_PATH: u8 = 1;
+    const ID_MP_SEQ: u8 = 2;
+    const ID_MP_TSEQ: u8 = 3;
+    /// Body length: (1+1) + (1+2) + (1+2) = 8 bytes, already 32-bit aligned.
+    pub const PADDED_BODY_LEN: usize = 8;
+
+    /// Serializes the 4-byte extension header plus body into `b`.
+    pub(crate) fn serialize_block(&self, b: &mut BytesMut) {
+        b.put_u16(Self::PROFILE_ID);
+        b.put_u16((Self::PADDED_BODY_LEN / 4) as u16); // length in 32-bit words
+                                                       // One-byte form elements: (id << 4) | (len - 1), then data.
+        b.put_u8(Self::ID_PATH << 4); // 1 data byte
+        b.put_u8(self.path_id);
+        b.put_u8((Self::ID_MP_SEQ << 4) | 1); // 2 data bytes
+        b.put_u16(self.mp_sequence);
+        b.put_u8((Self::ID_MP_TSEQ << 4) | 1);
+        b.put_u16(self.mp_transport_sequence);
+    }
+
+    /// Parses an extension block from the front of `buf`.
+    pub(crate) fn parse_block(buf: &mut Bytes) -> Result<Self, ParseError> {
+        if buf.len() < 4 {
+            return Err(ParseError::Truncated);
+        }
+        let profile = buf.get_u16();
+        if profile != Self::PROFILE_ID {
+            return Err(ParseError::BadExtension);
+        }
+        let words = buf.get_u16() as usize;
+        let body_len = words * 4;
+        if buf.len() < body_len {
+            return Err(ParseError::Truncated);
+        }
+        let mut body = buf.split_to(body_len);
+
+        let mut path_id = None;
+        let mut mp_sequence = None;
+        let mut mp_transport_sequence = None;
+        while body.has_remaining() {
+            let head = body.get_u8();
+            if head == 0 {
+                continue; // padding
+            }
+            let id = head >> 4;
+            let len = (head & 0x0f) as usize + 1;
+            if body.len() < len {
+                return Err(ParseError::BadExtension);
+            }
+            match (id, len) {
+                (Self::ID_PATH, 1) => path_id = Some(body.get_u8()),
+                (Self::ID_MP_SEQ, 2) => mp_sequence = Some(body.get_u16()),
+                (Self::ID_MP_TSEQ, 2) => mp_transport_sequence = Some(body.get_u16()),
+                _ => body.advance(len), // unknown element: skip
+            }
+        }
+        match (path_id, mp_sequence, mp_transport_sequence) {
+            (Some(p), Some(s), Some(t)) => Ok(MultipathExtension {
+                path_id: p,
+                mp_sequence: s,
+                mp_transport_sequence: t,
+            }),
+            _ => Err(ParseError::BadExtension),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ext: MultipathExtension) -> MultipathExtension {
+        let mut b = BytesMut::new();
+        ext.serialize_block(&mut b);
+        let mut wire = b.freeze();
+        let parsed = MultipathExtension::parse_block(&mut wire).unwrap();
+        assert!(wire.is_empty(), "block must consume exactly its bytes");
+        parsed
+    }
+
+    #[test]
+    fn roundtrips_all_fields() {
+        let ext = MultipathExtension {
+            path_id: 3,
+            mp_sequence: 65535,
+            mp_transport_sequence: 0,
+        };
+        assert_eq!(roundtrip(ext), ext);
+    }
+
+    #[test]
+    fn block_is_32bit_aligned() {
+        let mut b = BytesMut::new();
+        MultipathExtension {
+            path_id: 0,
+            mp_sequence: 0,
+            mp_transport_sequence: 0,
+        }
+        .serialize_block(&mut b);
+        assert_eq!(b.len() % 4, 0);
+        assert_eq!(b.len(), 4 + MultipathExtension::PADDED_BODY_LEN);
+    }
+
+    #[test]
+    fn rejects_wrong_profile() {
+        let mut b = BytesMut::new();
+        b.put_u16(0xABCD);
+        b.put_u16(2);
+        b.put_slice(&[0u8; 8]);
+        let mut wire = b.freeze();
+        assert_eq!(
+            MultipathExtension::parse_block(&mut wire),
+            Err(ParseError::BadExtension)
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let mut b = BytesMut::new();
+        b.put_u16(MultipathExtension::PROFILE_ID);
+        b.put_u16(4); // claims 16 bytes
+        b.put_slice(&[0u8; 8]); // provides 8
+        let mut wire = b.freeze();
+        assert_eq!(
+            MultipathExtension::parse_block(&mut wire),
+            Err(ParseError::Truncated)
+        );
+    }
+
+    #[test]
+    fn missing_element_is_error() {
+        // A block with only the path element.
+        let mut b = BytesMut::new();
+        b.put_u16(MultipathExtension::PROFILE_ID);
+        b.put_u16(1);
+        b.put_u8(1 << 4);
+        b.put_u8(7);
+        b.put_slice(&[0, 0]); // padding
+        let mut wire = b.freeze();
+        assert_eq!(
+            MultipathExtension::parse_block(&mut wire),
+            Err(ParseError::BadExtension)
+        );
+    }
+
+    #[test]
+    fn skips_unknown_elements() {
+        let mut b = BytesMut::new();
+        b.put_u16(MultipathExtension::PROFILE_ID);
+        b.put_u16(3); // 12 bytes
+        b.put_u8((9 << 4) | 1); // unknown id 9, 2 bytes
+        b.put_u16(0xFFFF);
+        b.put_u8(1 << 4);
+        b.put_u8(5);
+        b.put_u8((2 << 4) | 1);
+        b.put_u16(10);
+        b.put_u8((3 << 4) | 1);
+        b.put_u16(20);
+        b.put_u8(0); // padding
+        let mut wire = b.freeze();
+        let ext = MultipathExtension::parse_block(&mut wire).unwrap();
+        assert_eq!(ext.path_id, 5);
+        assert_eq!(ext.mp_sequence, 10);
+        assert_eq!(ext.mp_transport_sequence, 20);
+    }
+}

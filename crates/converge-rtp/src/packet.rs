@@ -1,0 +1,254 @@
+//! RTP packet model and wire format (RFC 3550 fixed header plus the
+//! one-byte-form header extension of RFC 5285 carrying the Converge
+//! multipath fields).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::extension::MultipathExtension;
+
+/// Errors raised while parsing RTP/RTCP wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Buffer shorter than the structure it should contain.
+    Truncated,
+    /// RTP version field was not 2.
+    BadVersion(u8),
+    /// An extension block was malformed.
+    BadExtension,
+    /// An RTCP packet type byte was not recognised.
+    UnknownPacketType(u8),
+    /// A length or count field was inconsistent with the buffer.
+    BadLength,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated => write!(f, "buffer truncated"),
+            ParseError::BadVersion(v) => write!(f, "unsupported RTP version {v}"),
+            ParseError::BadExtension => write!(f, "malformed header extension"),
+            ParseError::UnknownPacketType(pt) => write!(f, "unknown RTCP packet type {pt}"),
+            ParseError::BadLength => write!(f, "inconsistent length field"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// RTP payload types used by this stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PayloadType {
+    /// Encoded video media.
+    Video,
+    /// XOR FEC repair data.
+    Fec,
+    /// Retransmission of a lost media packet (RFC 4588-style).
+    Retransmission,
+    /// Duplicated probe packet used to measure a disabled path (§4.2).
+    Probe,
+}
+
+impl PayloadType {
+    /// The 7-bit wire value.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            PayloadType::Video => 96,
+            PayloadType::Fec => 97,
+            PayloadType::Retransmission => 98,
+            PayloadType::Probe => 99,
+        }
+    }
+
+    /// Parses the 7-bit wire value.
+    pub fn from_wire(v: u8) -> Result<Self, ParseError> {
+        match v {
+            96 => Ok(PayloadType::Video),
+            97 => Ok(PayloadType::Fec),
+            98 => Ok(PayloadType::Retransmission),
+            99 => Ok(PayloadType::Probe),
+            other => Err(ParseError::UnknownPacketType(other)),
+        }
+    }
+}
+
+/// An RTP packet: fixed header, optional Converge multipath extension, and
+/// payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtpPacket {
+    /// Marker bit: set on the last packet of a video frame.
+    pub marker: bool,
+    /// Payload type.
+    pub payload_type: PayloadType,
+    /// Media-level sequence number (shared across paths, used for frame
+    /// reconstruction — the paper's "original sequence numbers", §5).
+    pub sequence: u16,
+    /// RTP media timestamp (90 kHz video clock).
+    pub timestamp: u32,
+    /// Synchronization source — one per camera stream.
+    pub ssrc: u32,
+    /// Converge multipath extension (present on multipath sessions).
+    pub extension: Option<MultipathExtension>,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl RtpPacket {
+    /// RTP version emitted and accepted.
+    pub const VERSION: u8 = 2;
+    /// Fixed header size in bytes (no CSRCs).
+    pub const FIXED_HEADER_LEN: usize = 12;
+
+    /// Total serialized size in bytes.
+    pub fn wire_len(&self) -> usize {
+        let ext = self
+            .extension
+            .map(|_| 4 + MultipathExtension::PADDED_BODY_LEN)
+            .unwrap_or(0);
+        Self::FIXED_HEADER_LEN + ext + self.payload.len()
+    }
+
+    /// Serializes to wire format.
+    pub fn serialize(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_len());
+        let x_bit = u8::from(self.extension.is_some());
+        b.put_u8((Self::VERSION << 6) | (x_bit << 4)); // V=2, P=0, X, CC=0
+        b.put_u8((u8::from(self.marker) << 7) | (self.payload_type.to_wire() & 0x7f));
+        b.put_u16(self.sequence);
+        b.put_u32(self.timestamp);
+        b.put_u32(self.ssrc);
+        if let Some(ext) = &self.extension {
+            ext.serialize_block(&mut b);
+        }
+        b.put_slice(&self.payload);
+        b.freeze()
+    }
+
+    /// Parses from wire format.
+    pub fn parse(mut buf: Bytes) -> Result<Self, ParseError> {
+        if buf.len() < Self::FIXED_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let b0 = buf.get_u8();
+        let version = b0 >> 6;
+        if version != Self::VERSION {
+            return Err(ParseError::BadVersion(version));
+        }
+        let has_ext = (b0 >> 4) & 1 == 1;
+        let cc = (b0 & 0x0f) as usize;
+        let b1 = buf.get_u8();
+        let marker = b1 >> 7 == 1;
+        let payload_type = PayloadType::from_wire(b1 & 0x7f)?;
+        let sequence = buf.get_u16();
+        let timestamp = buf.get_u32();
+        let ssrc = buf.get_u32();
+        if buf.len() < cc * 4 {
+            return Err(ParseError::Truncated);
+        }
+        buf.advance(cc * 4); // CSRCs ignored
+        let extension = if has_ext {
+            Some(MultipathExtension::parse_block(&mut buf)?)
+        } else {
+            None
+        };
+        Ok(RtpPacket {
+            marker,
+            payload_type,
+            sequence,
+            timestamp,
+            ssrc,
+            extension,
+            payload: buf,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extension::MultipathExtension;
+
+    fn sample(ext: Option<MultipathExtension>) -> RtpPacket {
+        RtpPacket {
+            marker: true,
+            payload_type: PayloadType::Video,
+            sequence: 0xBEEF,
+            timestamp: 0x1234_5678,
+            ssrc: 0xCAFE_BABE,
+            extension: ext,
+            payload: Bytes::from_static(b"hello media payload"),
+        }
+    }
+
+    fn sample_ext() -> MultipathExtension {
+        MultipathExtension {
+            path_id: 2,
+            mp_sequence: 41,
+            mp_transport_sequence: 1007,
+        }
+    }
+
+    #[test]
+    fn roundtrip_without_extension() {
+        let p = sample(None);
+        let wire = p.serialize();
+        assert_eq!(wire.len(), p.wire_len());
+        let back = RtpPacket::parse(wire).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn roundtrip_with_extension() {
+        let p = sample(Some(sample_ext()));
+        let back = RtpPacket::parse(p.serialize()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut wire = sample(None).serialize().to_vec();
+        wire[0] = 0b0100_0000; // version 1
+        assert_eq!(
+            RtpPacket::parse(Bytes::from(wire)),
+            Err(ParseError::BadVersion(1))
+        );
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let wire = sample(None).serialize();
+        for cut in 0..RtpPacket::FIXED_HEADER_LEN {
+            let short = wire.slice(0..cut);
+            assert_eq!(RtpPacket::parse(short), Err(ParseError::Truncated));
+        }
+    }
+
+    #[test]
+    fn payload_type_wire_roundtrip() {
+        for pt in [
+            PayloadType::Video,
+            PayloadType::Fec,
+            PayloadType::Retransmission,
+            PayloadType::Probe,
+        ] {
+            assert_eq!(PayloadType::from_wire(pt.to_wire()).unwrap(), pt);
+        }
+        assert!(PayloadType::from_wire(50).is_err());
+    }
+
+    #[test]
+    fn marker_bit_preserved() {
+        let mut p = sample(None);
+        p.marker = false;
+        let back = RtpPacket::parse(p.serialize()).unwrap();
+        assert!(!back.marker);
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let mut p = sample(Some(sample_ext()));
+        p.payload = Bytes::new();
+        let back = RtpPacket::parse(p.serialize()).unwrap();
+        assert!(back.payload.is_empty());
+        assert_eq!(back.extension, Some(sample_ext()));
+    }
+}

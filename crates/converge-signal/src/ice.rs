@@ -1,0 +1,295 @@
+//! ICE-lite connectivity establishment over the emulated network.
+//!
+//! The paper extends ICE "to obtain possible network connections for
+//! multiple paths" (§5). This module implements the minimal machinery that
+//! negotiation needs: gather one host candidate per local interface, pair
+//! local and remote candidates that share an interface/path, run a
+//! connectivity check per pair (a request/response over the emulated path),
+//! and nominate one pair per path ID.
+
+use std::collections::BTreeMap;
+
+use converge_net::{PathId, SimTime};
+
+use crate::sdp::Candidate;
+
+/// A local network interface mapped onto an emulated path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Interface name ("wifi0", "cell0", ...).
+    pub name: String,
+    /// The emulated path this interface reaches the peer over.
+    pub path: PathId,
+    /// Preference: higher wins when multiple interfaces share a path.
+    pub preference: u32,
+}
+
+/// State of one candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairState {
+    /// Created; no check sent yet.
+    Waiting,
+    /// Check sent; awaiting response.
+    InProgress,
+    /// Check round-tripped.
+    Succeeded,
+    /// Check timed out.
+    Failed,
+}
+
+/// A local×remote candidate pair under check.
+#[derive(Debug, Clone)]
+pub struct CandidatePair {
+    /// Path the pair uses.
+    pub path: PathId,
+    /// Local candidate address.
+    pub local: String,
+    /// Remote candidate address.
+    pub remote: String,
+    /// Pair priority (max of candidate priorities; simplified).
+    pub priority: u64,
+    /// Check state.
+    pub state: PairState,
+    /// When the outstanding check was sent.
+    pub check_sent_at: Option<SimTime>,
+}
+
+/// An ICE-lite agent for one endpoint.
+#[derive(Debug)]
+pub struct IceAgent {
+    interfaces: Vec<Interface>,
+    pairs: Vec<CandidatePair>,
+    nominated: BTreeMap<PathId, usize>,
+    check_timeout: converge_net::SimDuration,
+}
+
+/// A connectivity-check message carried over the emulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckMessage {
+    /// Path being checked.
+    pub path: PathId,
+    /// Pair index at the sender (echoed by the responder).
+    pub pair_index: usize,
+    /// True for the response leg.
+    pub is_response: bool,
+}
+
+impl IceAgent {
+    /// Creates an agent that owns the given interfaces.
+    pub fn new(interfaces: Vec<Interface>) -> Self {
+        IceAgent {
+            interfaces,
+            pairs: Vec::new(),
+            nominated: BTreeMap::new(),
+            check_timeout: converge_net::SimDuration::from_millis(1_000),
+        }
+    }
+
+    /// Gathers host candidates: one per interface, priority from the
+    /// interface preference.
+    pub fn gather_candidates(&self) -> Vec<Candidate> {
+        self.interfaces
+            .iter()
+            .map(|i| Candidate {
+                foundation: format!("host-{}", i.name),
+                component: 1,
+                priority: (i.preference as u64) << 8 | i.path.0 as u64,
+                address: i.name.clone(),
+                port: 9000 + i.path.0 as u16,
+            })
+            .collect()
+    }
+
+    /// Forms the check list by pairing local interfaces with remote
+    /// candidates reachable over the same path (address families match in
+    /// the emulation when the path IDs encoded in ports match).
+    pub fn form_pairs(&mut self, remote: &[Candidate]) {
+        self.pairs.clear();
+        self.nominated.clear();
+        for iface in &self.interfaces {
+            for rc in remote {
+                let remote_path = (rc.port.wrapping_sub(9000)) as u8;
+                if remote_path == iface.path.0 {
+                    self.pairs.push(CandidatePair {
+                        path: iface.path,
+                        local: iface.name.clone(),
+                        remote: rc.address.clone(),
+                        priority: (iface.preference as u64).max(rc.priority),
+                        state: PairState::Waiting,
+                        check_sent_at: None,
+                    });
+                }
+            }
+        }
+        // Highest priority first per path.
+        self.pairs
+            .sort_by_key(|p| (p.path, std::cmp::Reverse(p.priority)));
+    }
+
+    /// The current check list (tests/telemetry).
+    pub fn pairs(&self) -> &[CandidatePair] {
+        &self.pairs
+    }
+
+    /// Produces the next connectivity checks to transmit (one per waiting
+    /// pair), marking them in-progress.
+    pub fn next_checks(&mut self, now: SimTime) -> Vec<CheckMessage> {
+        let mut out = Vec::new();
+        for (i, pair) in self.pairs.iter_mut().enumerate() {
+            if pair.state == PairState::Waiting {
+                pair.state = PairState::InProgress;
+                pair.check_sent_at = Some(now);
+                out.push(CheckMessage {
+                    path: pair.path,
+                    pair_index: i,
+                    is_response: false,
+                });
+            }
+        }
+        out
+    }
+
+    /// Handles an incoming check or response; returns a response to send
+    /// back when `msg` was a request.
+    pub fn on_message(&mut self, now: SimTime, msg: CheckMessage) -> Option<CheckMessage> {
+        if msg.is_response {
+            if let Some(pair) = self.pairs.get_mut(msg.pair_index) {
+                if pair.state == PairState::InProgress {
+                    pair.state = PairState::Succeeded;
+                    let _ = now;
+                    // Nominate the first (highest-priority) succeeded pair
+                    // per path.
+                    self.nominated.entry(msg.path).or_insert(msg.pair_index);
+                }
+            }
+            None
+        } else {
+            Some(CheckMessage {
+                is_response: true,
+                ..msg
+            })
+        }
+    }
+
+    /// Fails any in-progress checks older than the timeout.
+    pub fn expire_checks(&mut self, now: SimTime) {
+        for pair in &mut self.pairs {
+            if pair.state == PairState::InProgress {
+                if let Some(sent) = pair.check_sent_at {
+                    if now.saturating_since(sent) > self.check_timeout {
+                        pair.state = PairState::Failed;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The nominated pair per path, once checks succeed.
+    pub fn nominated(&self) -> Vec<(PathId, &CandidatePair)> {
+        self.nominated
+            .iter()
+            .filter_map(|(&path, &idx)| self.pairs.get(idx).map(|p| (path, p)))
+            .collect()
+    }
+
+    /// Paths with a working (nominated) pair.
+    pub fn connected_paths(&self) -> Vec<PathId> {
+        self.nominated.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent() -> IceAgent {
+        IceAgent::new(vec![
+            Interface {
+                name: "wifi0".into(),
+                path: PathId(0),
+                preference: 200,
+            },
+            Interface {
+                name: "cell0".into(),
+                path: PathId(1),
+                preference: 100,
+            },
+        ])
+    }
+
+    #[test]
+    fn gathers_one_candidate_per_interface() {
+        let cands = agent().gather_candidates();
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].address, "wifi0");
+        assert_eq!(cands[1].port, 9001);
+    }
+
+    #[test]
+    fn pairs_match_by_path() {
+        let mut a = agent();
+        let remote = agent().gather_candidates();
+        a.form_pairs(&remote);
+        assert_eq!(a.pairs().len(), 2);
+        assert!(a
+            .pairs()
+            .iter()
+            .all(|p| { (p.local == "wifi0") == (p.path == PathId(0)) }));
+    }
+
+    #[test]
+    fn full_handshake_nominates_both_paths() {
+        let mut alice = agent();
+        let mut bob = agent();
+        let bob_cands = bob.gather_candidates();
+        alice.form_pairs(&bob_cands);
+        bob.form_pairs(&alice.gather_candidates());
+
+        let t0 = SimTime::ZERO;
+        let checks = alice.next_checks(t0);
+        assert_eq!(checks.len(), 2);
+        for check in checks {
+            // Bob answers; Alice processes the response.
+            let resp = bob.on_message(t0, check).expect("request yields response");
+            assert!(alice.on_message(SimTime::from_millis(50), resp).is_none());
+        }
+        let connected = alice.connected_paths();
+        assert_eq!(connected, vec![PathId(0), PathId(1)]);
+        assert_eq!(alice.nominated().len(), 2);
+    }
+
+    #[test]
+    fn lost_check_times_out() {
+        let mut a = agent();
+        a.form_pairs(&agent().gather_candidates());
+        let _ = a.next_checks(SimTime::ZERO);
+        a.expire_checks(SimTime::from_millis(500));
+        assert!(a.pairs().iter().all(|p| p.state == PairState::InProgress));
+        a.expire_checks(SimTime::from_millis(1_500));
+        assert!(a.pairs().iter().all(|p| p.state == PairState::Failed));
+        assert!(a.connected_paths().is_empty());
+    }
+
+    #[test]
+    fn checks_emitted_once() {
+        let mut a = agent();
+        a.form_pairs(&agent().gather_candidates());
+        assert_eq!(a.next_checks(SimTime::ZERO).len(), 2);
+        assert!(a.next_checks(SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn no_pairs_without_matching_paths() {
+        let mut a = agent();
+        // Remote has only path 7.
+        let remote = vec![Candidate {
+            foundation: "f".into(),
+            component: 1,
+            priority: 1,
+            address: "x".into(),
+            port: 9007,
+        }];
+        a.form_pairs(&remote);
+        assert!(a.pairs().is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! SDP subset with the Converge multipath capability attribute.
+//!
+//! The paper modifies SDP "to advertise the multipath capabilities of each
+//! peer" (§5) and falls back to standard WebRTC when the far end does not
+//! support multipath. This module implements just enough of SDP for that
+//! negotiation: session-level fields, one video media section per camera
+//! stream, ICE credentials, candidates, and an `a=x-converge-multipath`
+//! attribute listing the path IDs the peer is willing to use.
+
+use std::fmt::Write as _;
+
+/// Errors from SDP parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdpError {
+    /// A line did not match `type=value`.
+    BadLine(usize),
+    /// Mandatory `v=`/`o=`/`s=` preamble missing or out of order.
+    BadPreamble,
+    /// An attribute had an invalid value.
+    BadAttribute(String),
+}
+
+impl std::fmt::Display for SdpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdpError::BadLine(n) => write!(f, "malformed SDP line {n}"),
+            SdpError::BadPreamble => write!(f, "missing or misordered v=/o=/s= preamble"),
+            SdpError::BadAttribute(a) => write!(f, "invalid attribute: {a}"),
+        }
+    }
+}
+
+impl std::error::Error for SdpError {}
+
+/// An ICE candidate advertised in SDP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// Foundation string grouping related candidates.
+    pub foundation: String,
+    /// Component (1 = RTP).
+    pub component: u32,
+    /// Priority; higher is preferred.
+    pub priority: u64,
+    /// Address, here an interface name in the emulated network.
+    pub address: String,
+    /// Port.
+    pub port: u16,
+}
+
+/// One media section (a camera stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MediaSection {
+    /// Media identification tag (`a=mid:`).
+    pub mid: String,
+    /// RTP payload types offered.
+    pub payload_types: Vec<u8>,
+    /// Candidates for this media.
+    pub candidates: Vec<Candidate>,
+}
+
+/// A parsed or constructed session description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionDescription {
+    /// Origin username.
+    pub origin: String,
+    /// Session identifier.
+    pub session_id: u64,
+    /// ICE username fragment.
+    pub ice_ufrag: String,
+    /// ICE password.
+    pub ice_pwd: String,
+    /// Path IDs the peer supports for multipath; empty means the peer is a
+    /// legacy single-path WebRTC endpoint.
+    pub multipath_paths: Vec<u8>,
+    /// Media sections, one per camera stream.
+    pub media: Vec<MediaSection>,
+}
+
+impl SessionDescription {
+    /// A minimal offer for `streams` camera streams over `paths`.
+    pub fn offer(origin: &str, session_id: u64, streams: u8, paths: &[u8]) -> Self {
+        SessionDescription {
+            origin: origin.to_string(),
+            session_id,
+            ice_ufrag: format!("uf{session_id:08x}"),
+            ice_pwd: format!("pw{session_id:016x}"),
+            multipath_paths: paths.to_vec(),
+            media: (0..streams)
+                .map(|i| MediaSection {
+                    mid: format!("video{i}"),
+                    payload_types: vec![96, 97, 98, 99],
+                    candidates: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether this endpoint advertised multipath support.
+    pub fn supports_multipath(&self) -> bool {
+        !self.multipath_paths.is_empty()
+    }
+
+    /// The path set both descriptions agree on (the negotiated multipath
+    /// configuration); empty means fall back to single-path WebRTC.
+    pub fn negotiated_paths(&self, other: &SessionDescription) -> Vec<u8> {
+        self.multipath_paths
+            .iter()
+            .copied()
+            .filter(|p| other.multipath_paths.contains(p))
+            .collect()
+    }
+
+    /// Serializes to SDP text.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "v=0");
+        let _ = writeln!(
+            out,
+            "o={} {} 0 IN IP4 0.0.0.0",
+            self.origin, self.session_id
+        );
+        let _ = writeln!(out, "s=converge");
+        let _ = writeln!(out, "t=0 0");
+        let _ = writeln!(out, "a=ice-ufrag:{}", self.ice_ufrag);
+        let _ = writeln!(out, "a=ice-pwd:{}", self.ice_pwd);
+        if !self.multipath_paths.is_empty() {
+            let list: Vec<String> = self.multipath_paths.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(out, "a=x-converge-multipath:{}", list.join(","));
+        }
+        for m in &self.media {
+            let pts: Vec<String> = m.payload_types.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(out, "m=video 9 UDP/RTP {}", pts.join(" "));
+            let _ = writeln!(out, "a=mid:{}", m.mid);
+            for c in &m.candidates {
+                let _ = writeln!(
+                    out,
+                    "a=candidate:{} {} udp {} {} {} typ host",
+                    c.foundation, c.component, c.priority, c.address, c.port
+                );
+            }
+        }
+        out
+    }
+
+    /// Parses SDP text produced by [`SessionDescription::serialize`] (plus
+    /// tolerant handling of unknown attributes, as real SDP requires).
+    pub fn parse(text: &str) -> Result<Self, SdpError> {
+        let mut lines = text.lines().enumerate().peekable();
+
+        // Preamble: v=, o=, s= in order.
+        let (_, v) = lines.next().ok_or(SdpError::BadPreamble)?;
+        if v.trim() != "v=0" {
+            return Err(SdpError::BadPreamble);
+        }
+        let (_, o) = lines.next().ok_or(SdpError::BadPreamble)?;
+        let o = o.strip_prefix("o=").ok_or(SdpError::BadPreamble)?;
+        let mut o_parts = o.split_whitespace();
+        let origin = o_parts.next().ok_or(SdpError::BadPreamble)?.to_string();
+        let session_id: u64 = o_parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(SdpError::BadPreamble)?;
+        let (_, s) = lines.next().ok_or(SdpError::BadPreamble)?;
+        if !s.starts_with("s=") {
+            return Err(SdpError::BadPreamble);
+        }
+
+        let mut desc = SessionDescription {
+            origin,
+            session_id,
+            ice_ufrag: String::new(),
+            ice_pwd: String::new(),
+            multipath_paths: Vec::new(),
+            media: Vec::new(),
+        };
+
+        for (lineno, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (kind, value) = line.split_once('=').ok_or(SdpError::BadLine(lineno + 1))?;
+            match kind {
+                "a" => Self::parse_attribute(&mut desc, value)?,
+                "m" => {
+                    let mut parts = value.split_whitespace();
+                    let media_kind = parts.next().unwrap_or("");
+                    if media_kind != "video" {
+                        continue; // ignore non-video sections
+                    }
+                    let _port = parts.next();
+                    let _proto = parts.next();
+                    let payload_types: Vec<u8> = parts.filter_map(|p| p.parse().ok()).collect();
+                    desc.media.push(MediaSection {
+                        mid: String::new(),
+                        payload_types,
+                        candidates: Vec::new(),
+                    });
+                }
+                // Tolerated / ignored line types.
+                "t" | "c" | "b" | "o" | "s" | "v" => {}
+                _ => return Err(SdpError::BadLine(lineno + 1)),
+            }
+        }
+        Ok(desc)
+    }
+
+    fn parse_attribute(desc: &mut SessionDescription, value: &str) -> Result<(), SdpError> {
+        let (name, rest) = value.split_once(':').unwrap_or((value, ""));
+        match name {
+            "ice-ufrag" => desc.ice_ufrag = rest.to_string(),
+            "ice-pwd" => desc.ice_pwd = rest.to_string(),
+            "x-converge-multipath" => {
+                for part in rest.split(',') {
+                    let id: u8 = part
+                        .trim()
+                        .parse()
+                        .map_err(|_| SdpError::BadAttribute(value.to_string()))?;
+                    desc.multipath_paths.push(id);
+                }
+            }
+            "mid" => {
+                if let Some(m) = desc.media.last_mut() {
+                    m.mid = rest.to_string();
+                }
+            }
+            "candidate" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() < 5 {
+                    return Err(SdpError::BadAttribute(value.to_string()));
+                }
+                let cand = Candidate {
+                    foundation: parts[0].to_string(),
+                    component: parts[1]
+                        .parse()
+                        .map_err(|_| SdpError::BadAttribute(value.to_string()))?,
+                    priority: parts[3]
+                        .parse()
+                        .map_err(|_| SdpError::BadAttribute(value.to_string()))?,
+                    address: parts[4].to_string(),
+                    port: parts.get(5).and_then(|p| p.parse().ok()).unwrap_or(9),
+                };
+                if let Some(m) = desc.media.last_mut() {
+                    m.candidates.push(cand);
+                }
+            }
+            _ => {} // unknown attributes are ignored, per SDP convention
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_roundtrips() {
+        let mut offer = SessionDescription::offer("alice", 42, 2, &[0, 1]);
+        offer.media[0].candidates.push(Candidate {
+            foundation: "f0".into(),
+            component: 1,
+            priority: 100,
+            address: "wifi0".into(),
+            port: 5000,
+        });
+        let text = offer.serialize();
+        let parsed = SessionDescription::parse(&text).unwrap();
+        assert_eq!(parsed, offer);
+    }
+
+    #[test]
+    fn legacy_peer_has_no_multipath() {
+        let offer = SessionDescription::offer("bob", 1, 1, &[]);
+        assert!(!offer.supports_multipath());
+        let text = offer.serialize();
+        assert!(!text.contains("x-converge-multipath"));
+        let parsed = SessionDescription::parse(&text).unwrap();
+        assert!(!parsed.supports_multipath());
+    }
+
+    #[test]
+    fn negotiation_intersects_paths() {
+        let a = SessionDescription::offer("a", 1, 1, &[0, 1, 2]);
+        let b = SessionDescription::offer("b", 2, 1, &[1, 2, 3]);
+        assert_eq!(a.negotiated_paths(&b), vec![1, 2]);
+    }
+
+    #[test]
+    fn negotiation_with_legacy_falls_back() {
+        let a = SessionDescription::offer("a", 1, 1, &[0, 1]);
+        let legacy = SessionDescription::offer("b", 2, 1, &[]);
+        assert!(a.negotiated_paths(&legacy).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_missing_preamble() {
+        assert_eq!(
+            SessionDescription::parse("a=mid:video0\n"),
+            Err(SdpError::BadPreamble)
+        );
+        assert_eq!(
+            SessionDescription::parse("v=1\no=a 1 0 IN IP4 0\ns=x\n"),
+            Err(SdpError::BadPreamble)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_multipath_attr() {
+        let text = "v=0\no=a 1 0 IN IP4 0\ns=x\na=x-converge-multipath:zero,one\n";
+        assert!(matches!(
+            SessionDescription::parse(text),
+            Err(SdpError::BadAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_attributes_ignored() {
+        let text = "v=0\no=a 1 0 IN IP4 0\ns=x\na=fancy-new-thing:whatever\n";
+        let d = SessionDescription::parse(text).unwrap();
+        assert_eq!(d.origin, "a");
+    }
+
+    #[test]
+    fn multiple_media_sections() {
+        let offer = SessionDescription::offer("a", 9, 3, &[0, 1]);
+        let parsed = SessionDescription::parse(&offer.serialize()).unwrap();
+        assert_eq!(parsed.media.len(), 3);
+        assert_eq!(parsed.media[2].mid, "video2");
+    }
+}

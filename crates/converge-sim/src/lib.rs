@@ -1,0 +1,29 @@
+//! # converge-sim
+//!
+//! End-to-end simulated conference calls for the Converge (SIGCOMM 2023)
+//! reproduction: a sender (encoders, per-path GCC, pluggable scheduler and
+//! FEC policy) and a receiver (packet/frame buffers, FEC recovery, NACK,
+//! PLI, QoE feedback) wired over the deterministic multipath emulator, plus
+//! the metrics the paper's evaluation reports.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod duplex;
+pub mod metrics;
+pub mod pacer;
+pub mod payload;
+pub mod receiver;
+pub mod scenarios;
+pub mod sender;
+pub mod session;
+pub mod wire;
+
+pub use duplex::DuplexSession;
+pub use metrics::{CallReport, MetricsCollector, PathCounters, SecondBin};
+pub use pacer::{Pacer, PacerConfig};
+pub use payload::{NetPayload, RtpKind, SimRtp};
+pub use receiver::ConferenceReceiver;
+pub use scenarios::{FecKind, PathSpec, ScenarioConfig, SchedulerKind};
+pub use sender::{ConferenceSender, FrameTickResult, OutboundPacket, RateCoupling};
+pub use session::{Session, SessionConfig};

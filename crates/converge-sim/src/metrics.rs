@@ -1,0 +1,611 @@
+//! QoE metrics collection: everything the paper's evaluation reports.
+
+use std::collections::BTreeMap;
+
+use converge_net::{PathId, SimDuration, SimTime};
+use converge_video::{effective_psnr, qp_for_bitrate, StreamId, VideoFormat};
+
+/// Per-second time-series bin for the figure-style plots (Figs. 9/11/16).
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct SecondBin {
+    /// Media payload bits delivered this second.
+    pub media_bits: u64,
+    /// Frames decoded this second.
+    pub frames_decoded: u32,
+    /// Sum and count of per-frame E2E latencies (for the mean).
+    pub e2e_sum_us: u64,
+    /// Number of E2E samples.
+    pub e2e_count: u32,
+    /// Sum of interframe delays observed.
+    pub ifd_sum_us: u64,
+    /// Number of IFD samples.
+    pub ifd_count: u32,
+    /// Sum of frame construction delays observed.
+    pub fcd_sum_us: u64,
+    /// Number of FCD samples.
+    pub fcd_count: u32,
+    /// Frames dropped this second.
+    pub frames_dropped: u32,
+    /// Sum of encoded frame heights this second (resolution telemetry).
+    pub height_sum: u64,
+    /// Number of encoded frames this second.
+    pub encoded_count: u32,
+}
+
+impl SecondBin {
+    /// Delivered media throughput this second, bits per second.
+    pub fn throughput_bps(&self) -> f64 {
+        self.media_bits as f64
+    }
+
+    /// Mean E2E latency this second, milliseconds (None if no frames).
+    pub fn e2e_ms(&self) -> Option<f64> {
+        (self.e2e_count > 0).then(|| self.e2e_sum_us as f64 / self.e2e_count as f64 / 1_000.0)
+    }
+
+    /// Mean IFD this second, milliseconds.
+    pub fn ifd_ms(&self) -> Option<f64> {
+        (self.ifd_count > 0).then(|| self.ifd_sum_us as f64 / self.ifd_count as f64 / 1_000.0)
+    }
+
+    /// Mean FCD this second, milliseconds.
+    pub fn fcd_ms(&self) -> Option<f64> {
+        (self.fcd_count > 0).then(|| self.fcd_sum_us as f64 / self.fcd_count as f64 / 1_000.0)
+    }
+
+    /// Mean encoded height this second (720 = full resolution).
+    pub fn encoded_height(&self) -> Option<f64> {
+        (self.encoded_count > 0).then(|| self.height_sum as f64 / self.encoded_count as f64)
+    }
+}
+
+/// Per-path counters.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct PathCounters {
+    /// RTP packets sent on the path.
+    pub packets_sent: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// RTP packets that arrived.
+    pub packets_received: u64,
+    /// Packets lost in the network.
+    pub packets_lost: u64,
+}
+
+/// The collector the simulation feeds while running.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    start: SimTime,
+    duration: SimDuration,
+    format: VideoFormat,
+    max_encoding_rate_bps: u64,
+    streams: u8,
+
+    bins: Vec<SecondBin>,
+    paths: BTreeMap<PathId, PathCounters>,
+    /// Bytes sent per second per path (for per-path rate plots).
+    path_bins: BTreeMap<PathId, Vec<u64>>,
+
+    frames_encoded: u64,
+    height_sum: u64,
+    frames_decoded: u64,
+    frames_dropped: u64,
+    keyframe_requests: u64,
+    nacks_sent: u64,
+    retransmissions: u64,
+
+    media_packets_sent: u64,
+    fec_packets_sent: u64,
+    fec_packets_received: u64,
+    fec_packets_used: u64,
+
+    e2e_us: Vec<u64>,
+    qp_sum: u64,
+    qp_count: u64,
+
+    /// Last decode instant per stream, for freeze detection.
+    last_decode: BTreeMap<StreamId, SimTime>,
+    freeze_total: SimDuration,
+    freeze_events: u64,
+    /// Gap beyond which the video is considered frozen.
+    freeze_threshold: SimDuration,
+    /// Per-second decoded frame counts for min-FPS style stats.
+    expected_frame_interval: SimDuration,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for a call of `duration` with `streams` cameras.
+    pub fn new(
+        duration: SimDuration,
+        format: VideoFormat,
+        max_encoding_rate_bps: u64,
+        streams: u8,
+    ) -> Self {
+        let secs = (duration.as_secs_f64().ceil() as usize).max(1);
+        MetricsCollector {
+            start: SimTime::ZERO,
+            duration,
+            format,
+            max_encoding_rate_bps,
+            streams,
+            bins: vec![SecondBin::default(); secs],
+            paths: BTreeMap::new(),
+            path_bins: BTreeMap::new(),
+            frames_encoded: 0,
+            height_sum: 0,
+            frames_decoded: 0,
+            frames_dropped: 0,
+            keyframe_requests: 0,
+            nacks_sent: 0,
+            retransmissions: 0,
+            media_packets_sent: 0,
+            fec_packets_sent: 0,
+            fec_packets_received: 0,
+            fec_packets_used: 0,
+            e2e_us: Vec::new(),
+            qp_sum: 0,
+            qp_count: 0,
+            last_decode: BTreeMap::new(),
+            freeze_total: SimDuration::ZERO,
+            freeze_events: 0,
+            freeze_threshold: SimDuration::from_millis(200),
+            expected_frame_interval: SimDuration::from_micros(1_000_000 / format.fps.max(1) as u64),
+        }
+    }
+
+    fn bin_mut(&mut self, at: SimTime) -> &mut SecondBin {
+        let idx = (at.saturating_since(self.start).as_secs_f64() as usize)
+            .min(self.bins.len().saturating_sub(1));
+        &mut self.bins[idx]
+    }
+
+    /// Records an encoded frame at `at`.
+    pub fn on_frame_encoded(&mut self, at: SimTime, qp: u8, height: u32) {
+        self.frames_encoded += 1;
+        self.height_sum += height as u64;
+        self.qp_sum += qp as u64;
+        self.qp_count += 1;
+        let bin = self.bin_mut(at);
+        bin.height_sum += height as u64;
+        bin.encoded_count += 1;
+    }
+
+    /// Records a packet sent on a path at `at`.
+    pub fn on_packet_sent(
+        &mut self,
+        at: SimTime,
+        path: PathId,
+        bytes: usize,
+        is_fec: bool,
+        is_media: bool,
+    ) {
+        let c = self.paths.entry(path).or_default();
+        c.packets_sent += 1;
+        c.bytes_sent += bytes as u64;
+        if is_fec {
+            self.fec_packets_sent += 1;
+        }
+        if is_media {
+            self.media_packets_sent += 1;
+        }
+        let n_bins = self.bins.len();
+        let idx = (at.saturating_since(self.start).as_secs_f64() as usize)
+            .min(n_bins.saturating_sub(1));
+        let series = self
+            .path_bins
+            .entry(path)
+            .or_insert_with(|| vec![0; n_bins]);
+        series[idx] += bytes as u64;
+    }
+
+    /// Records a packet lost in the network.
+    pub fn on_packet_lost(&mut self, path: PathId) {
+        self.paths.entry(path).or_default().packets_lost += 1;
+    }
+
+    /// Records a packet arrival; `media_payload` is the media bytes counted
+    /// toward delivered throughput (0 for FEC/probe/control).
+    pub fn on_packet_received(&mut self, at: SimTime, path: PathId, media_payload: usize) {
+        self.paths.entry(path).or_default().packets_received += 1;
+        self.bin_mut(at).media_bits += media_payload as u64 * 8;
+    }
+
+    /// Records a received FEC packet.
+    pub fn on_fec_received(&mut self) {
+        self.fec_packets_received += 1;
+    }
+
+    /// Records an FEC packet actually used to recover a loss.
+    pub fn on_fec_used(&mut self) {
+        self.fec_packets_used += 1;
+    }
+
+    /// Records a frame decoded at `at` that was captured at `captured`.
+    pub fn on_frame_decoded(&mut self, stream: StreamId, at: SimTime, e2e: SimDuration) {
+        self.frames_decoded += 1;
+        self.e2e_us.push(e2e.as_micros());
+        {
+            let bin = self.bin_mut(at);
+            bin.frames_decoded += 1;
+            bin.e2e_sum_us += e2e.as_micros();
+            bin.e2e_count += 1;
+        }
+        // Freeze detection: a decode gap beyond the threshold is a stall.
+        if let Some(prev) = self.last_decode.insert(stream, at) {
+            let gap = at.saturating_since(prev);
+            if gap > self.freeze_threshold {
+                self.freeze_total += gap - self.expected_frame_interval;
+                self.freeze_events += 1;
+            }
+        }
+    }
+
+    /// Records a dropped (never decoded) frame.
+    pub fn on_frame_dropped(&mut self, at: SimTime) {
+        self.frames_dropped += 1;
+        self.bin_mut(at).frames_dropped += 1;
+    }
+
+    /// Records a keyframe request (PLI).
+    pub fn on_keyframe_request(&mut self) {
+        self.keyframe_requests += 1;
+    }
+
+    /// Records NACKed sequence numbers.
+    pub fn on_nack_sent(&mut self, count: usize) {
+        self.nacks_sent += count as u64;
+    }
+
+    /// Records a retransmission.
+    pub fn on_retransmission(&mut self) {
+        self.retransmissions += 1;
+    }
+
+    /// Records an IFD observation.
+    pub fn on_ifd(&mut self, at: SimTime, ifd: SimDuration) {
+        let bin = self.bin_mut(at);
+        bin.ifd_sum_us += ifd.as_micros();
+        bin.ifd_count += 1;
+    }
+
+    /// Records an FCD observation.
+    pub fn on_fcd(&mut self, at: SimTime, fcd: SimDuration) {
+        let bin = self.bin_mut(at);
+        bin.fcd_sum_us += fcd.as_micros();
+        bin.fcd_count += 1;
+    }
+
+    /// Produces the final report.
+    pub fn finish(self) -> CallReport {
+        let secs = self.duration.as_secs_f64();
+        let media_bits: u64 = self.bins.iter().map(|b| b.media_bits).sum();
+        let throughput_bps = media_bits as f64 / secs;
+        let fps = self.frames_decoded as f64 / secs;
+        let mut e2e = self.e2e_us.clone();
+        e2e.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            if e2e.is_empty() {
+                return 0.0;
+            }
+            let idx = ((e2e.len() - 1) as f64 * p).round() as usize;
+            e2e[idx] as f64 / 1_000.0
+        };
+        let e2e_mean_ms = if e2e.is_empty() {
+            0.0
+        } else {
+            e2e.iter().sum::<u64>() as f64 / e2e.len() as f64 / 1_000.0
+        };
+        let avg_qp = if self.qp_count > 0 {
+            self.qp_sum as f64 / self.qp_count as f64
+        } else {
+            qp_for_bitrate(self.format, 0.0) as f64
+        };
+        let freeze_fraction = (self.freeze_total.as_secs_f64() / secs).clamp(0.0, 1.0);
+        // PSNR from delivered per-stream rate and freeze fraction.
+        let per_stream_rate = throughput_bps / self.streams.max(1) as f64;
+        let psnr_db = effective_psnr(self.format, per_stream_rate, freeze_fraction);
+
+        CallReport {
+            duration_s: secs,
+            streams: self.streams,
+            max_encoding_rate_bps: self.max_encoding_rate_bps,
+            throughput_bps,
+            fps,
+            e2e_mean_ms,
+            e2e_p50_ms: pct(0.50),
+            e2e_p95_ms: pct(0.95),
+            e2e_samples_ms: e2e.iter().map(|&us| us as f64 / 1_000.0).collect(),
+            freeze_total_ms: self.freeze_total.as_micros() as f64 / 1_000.0,
+            freeze_events: self.freeze_events,
+            frames_encoded: self.frames_encoded,
+            avg_encoded_height: if self.frames_encoded > 0 {
+                self.height_sum as f64 / self.frames_encoded as f64
+            } else {
+                0.0
+            },
+            frames_decoded: self.frames_decoded,
+            frames_dropped: self.frames_dropped,
+            keyframe_requests: self.keyframe_requests,
+            nacks_sent: self.nacks_sent,
+            retransmissions: self.retransmissions,
+            media_packets_sent: self.media_packets_sent,
+            fec_packets_sent: self.fec_packets_sent,
+            fec_packets_received: self.fec_packets_received,
+            fec_packets_used: self.fec_packets_used,
+            avg_qp,
+            psnr_db,
+            paths: self.paths,
+            path_series: self.path_bins,
+            bins: self.bins,
+        }
+    }
+}
+
+/// The final report of one simulated call.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CallReport {
+    /// Call duration in seconds.
+    pub duration_s: f64,
+    /// Number of camera streams.
+    pub streams: u8,
+    /// Application encoding cap, bps.
+    pub max_encoding_rate_bps: u64,
+    /// Delivered media throughput, bps (all streams).
+    pub throughput_bps: f64,
+    /// Decoded frames per second (all streams; divide by `streams` for
+    /// per-camera FPS).
+    pub fps: f64,
+    /// Mean per-frame end-to-end latency, ms.
+    pub e2e_mean_ms: f64,
+    /// Median E2E, ms.
+    pub e2e_p50_ms: f64,
+    /// 95th-percentile E2E, ms.
+    pub e2e_p95_ms: f64,
+    /// Every per-frame E2E sample (ms), for CDFs (Fig. 14c).
+    pub e2e_samples_ms: Vec<f64>,
+    /// Total stall time, ms.
+    pub freeze_total_ms: f64,
+    /// Number of distinct stalls.
+    pub freeze_events: u64,
+    /// Frames the encoder produced.
+    pub frames_encoded: u64,
+    /// Mean encoded frame height (720 = never downscaled; lower values
+    /// show the resolution adaptation the paper observes in Fig. 9b).
+    pub avg_encoded_height: f64,
+    /// Frames the decoder displayed.
+    pub frames_decoded: u64,
+    /// Frames dropped at the receiver.
+    pub frames_dropped: u64,
+    /// Keyframe requests (PLIs).
+    pub keyframe_requests: u64,
+    /// NACKed sequence numbers.
+    pub nacks_sent: u64,
+    /// Retransmitted packets.
+    pub retransmissions: u64,
+    /// Media packets sent.
+    pub media_packets_sent: u64,
+    /// FEC packets generated.
+    pub fec_packets_sent: u64,
+    /// FEC packets that reached the receiver.
+    pub fec_packets_received: u64,
+    /// FEC packets used for recovery.
+    pub fec_packets_used: u64,
+    /// Mean encoder QP (image quality; lower is better).
+    pub avg_qp: f64,
+    /// Effective PSNR in dB from the R–D model.
+    pub psnr_db: f64,
+    /// Per-path counters.
+    pub paths: BTreeMap<PathId, PathCounters>,
+    /// Bytes sent per second per path (per-path rate series, e.g. the
+    /// paper's Fig. 11 share-shift visual).
+    pub path_series: BTreeMap<PathId, Vec<u64>>,
+    /// Per-second time series.
+    pub bins: Vec<SecondBin>,
+}
+
+impl CallReport {
+    /// Per-camera FPS.
+    pub fn fps_per_stream(&self) -> f64 {
+        self.fps / self.streams.max(1) as f64
+    }
+
+    /// Average duration of one freeze event, ms (the paper's "average
+    /// freeze duration" of Fig. 3b); zero when the call never froze.
+    pub fn avg_freeze_ms(&self) -> f64 {
+        if self.freeze_events == 0 {
+            return 0.0;
+        }
+        self.freeze_total_ms / self.freeze_events as f64
+    }
+
+    /// FEC overhead: extra FEC packets relative to media packets, percent.
+    pub fn fec_overhead_pct(&self) -> f64 {
+        if self.media_packets_sent == 0 {
+            return 0.0;
+        }
+        self.fec_packets_sent as f64 / self.media_packets_sent as f64 * 100.0
+    }
+
+    /// FEC utilization: received FEC packets actually used, percent.
+    pub fn fec_utilization_pct(&self) -> f64 {
+        if self.fec_packets_received == 0 {
+            return 0.0;
+        }
+        self.fec_packets_used as f64 / self.fec_packets_received as f64 * 100.0
+    }
+
+    /// Normalized throughput: delivered / (streams × max encoding rate),
+    /// matching the paper's normalization in §6.
+    pub fn normalized_throughput(&self) -> f64 {
+        let denom = self.max_encoding_rate_bps as f64 * self.streams.max(1) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.throughput_bps / denom
+    }
+
+    /// Normalized FPS against the 24-FPS good-QoE floor.
+    pub fn normalized_fps(&self) -> f64 {
+        self.fps_per_stream() / 24.0
+    }
+
+    /// Normalized QP against 60 (the lowest quality).
+    pub fn normalized_qp(&self) -> f64 {
+        self.avg_qp / 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collector() -> MetricsCollector {
+        MetricsCollector::new(
+            SimDuration::from_secs(10),
+            VideoFormat::HD720,
+            10_000_000,
+            1,
+        )
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn throughput_counts_media_bytes() {
+        let mut m = collector();
+        m.on_packet_received(t(100), PathId(0), 1_250_000); // 10 Mbit
+        let r = m.finish();
+        assert!((r.throughput_bps - 1_000_000.0).abs() < 1.0); // over 10 s
+    }
+
+    #[test]
+    fn fps_counts_decoded_frames() {
+        let mut m = collector();
+        for i in 0..300u64 {
+            m.on_frame_decoded(StreamId(0), t(i * 33), d(100));
+        }
+        let r = m.finish();
+        assert!((r.fps - 30.0).abs() < 0.1);
+        assert_eq!(r.frames_decoded, 300);
+    }
+
+    #[test]
+    fn freeze_detected_on_decode_gap() {
+        let mut m = collector();
+        m.on_frame_decoded(StreamId(0), t(0), d(100));
+        m.on_frame_decoded(StreamId(0), t(33), d(100));
+        // 1-second gap → freeze.
+        m.on_frame_decoded(StreamId(0), t(1033), d(100));
+        let r = m.finish();
+        assert_eq!(r.freeze_events, 1);
+        assert!((r.freeze_total_ms - (1_000.0 - 33.333)).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_freeze_on_steady_decode() {
+        let mut m = collector();
+        for i in 0..30u64 {
+            m.on_frame_decoded(StreamId(0), t(i * 33), d(100));
+        }
+        assert_eq!(m.finish().freeze_events, 0);
+    }
+
+    #[test]
+    fn freezes_tracked_per_stream() {
+        let mut m = collector();
+        // Stream 0 steady, stream 1 gapped: only one freeze.
+        for i in 0..30u64 {
+            m.on_frame_decoded(StreamId(0), t(i * 33), d(100));
+        }
+        m.on_frame_decoded(StreamId(1), t(0), d(100));
+        m.on_frame_decoded(StreamId(1), t(900), d(100));
+        assert_eq!(m.finish().freeze_events, 1);
+    }
+
+    #[test]
+    fn e2e_percentiles() {
+        let mut m = collector();
+        for i in 1..=100u64 {
+            m.on_frame_decoded(StreamId(0), t(i * 10), d(i));
+        }
+        let r = m.finish();
+        assert!((r.e2e_p50_ms - 51.0).abs() <= 1.0, "{}", r.e2e_p50_ms);
+        assert!((r.e2e_p95_ms - 95.0).abs() <= 1.0);
+        assert!((r.e2e_mean_ms - 50.5).abs() <= 0.1);
+    }
+
+    #[test]
+    fn fec_ratios() {
+        let mut m = collector();
+        for _ in 0..100 {
+            m.on_packet_sent(t(0), PathId(0), 1200, false, true);
+        }
+        for _ in 0..10 {
+            m.on_packet_sent(t(0), PathId(0), 1200, true, false);
+        }
+        for _ in 0..8 {
+            m.on_fec_received();
+        }
+        for _ in 0..2 {
+            m.on_fec_used();
+        }
+        let r = m.finish();
+        assert!((r.fec_overhead_pct() - 10.0).abs() < 1e-9);
+        assert!((r.fec_utilization_pct() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_rules() {
+        let mut m = collector();
+        m.on_packet_received(t(0), PathId(0), 12_500_000); // 100 Mbit / 10 s = 10 Mbps
+        for i in 0..240u64 {
+            m.on_frame_decoded(StreamId(0), t(i * 41), d(10));
+        }
+        let r = m.finish();
+        assert!((r.normalized_throughput() - 1.0).abs() < 0.01);
+        assert!((r.normalized_fps() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bins_capture_time_series() {
+        let mut m = collector();
+        m.on_packet_received(t(500), PathId(0), 1000);
+        m.on_packet_received(t(1500), PathId(0), 2000);
+        m.on_ifd(t(1500), d(40));
+        m.on_fcd(t(2500), d(15));
+        let r = m.finish();
+        assert_eq!(r.bins[0].media_bits, 8000);
+        assert_eq!(r.bins[1].media_bits, 16000);
+        assert_eq!(r.bins[1].ifd_ms(), Some(40.0));
+        assert_eq!(r.bins[2].fcd_ms(), Some(15.0));
+        assert_eq!(r.bins[0].ifd_ms(), None);
+    }
+
+    #[test]
+    fn per_path_counters() {
+        let mut m = collector();
+        m.on_packet_sent(t(0), PathId(0), 100, false, true);
+        m.on_packet_sent(t(0), PathId(1), 200, false, true);
+        m.on_packet_lost(PathId(1));
+        m.on_packet_received(t(0), PathId(0), 100);
+        let r = m.finish();
+        assert_eq!(r.paths[&PathId(0)].packets_sent, 1);
+        assert_eq!(r.paths[&PathId(1)].packets_lost, 1);
+        assert_eq!(r.paths[&PathId(0)].packets_received, 1);
+    }
+
+    #[test]
+    fn late_events_clamp_to_last_bin() {
+        let mut m = collector();
+        // Event after nominal duration must not panic.
+        m.on_packet_received(t(20_000), PathId(0), 42);
+        let r = m.finish();
+        assert_eq!(r.bins.last().unwrap().media_bits, 42 * 8);
+    }
+}

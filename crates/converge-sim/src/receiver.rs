@@ -1,0 +1,967 @@
+//! The conference receiver: per-stream packet/frame buffers, FEC recovery,
+//! NACK and keyframe-request generation, per-path transport statistics,
+//! and the Converge QoE feedback monitor.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use converge_core::QoeMonitor;
+use converge_net::{PathId, SimDuration, SimTime};
+use converge_rtp::{
+    Nack, Pli, QoeFeedback, ReceiverReport, ReportBlock, RtcpPacket, TransportFeedback,
+};
+use converge_video::{
+    FrameBuffer, FrameBufferEvent, PacketBuffer, PacketBufferEvent, PacketKind, StreamId,
+    VideoPacket,
+};
+
+use crate::payload::{RtpKind, SimRtp};
+
+/// Events the receiver surfaces to the session for metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReceiverEvent {
+    /// A frame was decoded; `e2e` is capture-to-decode latency.
+    FrameDecoded {
+        /// The stream.
+        stream: StreamId,
+        /// Decode instant.
+        at: SimTime,
+        /// End-to-end latency (including FEC processing penalty if used).
+        e2e: SimDuration,
+    },
+    /// A frame was abandoned.
+    FrameDropped {
+        /// Why (packet-buffer evictions map to `BufferFull`).
+        reason: converge_video::DropReason,
+    },
+    /// An IFD observation.
+    Ifd {
+        /// Observation time.
+        at: SimTime,
+        /// The interframe delay.
+        ifd: SimDuration,
+    },
+    /// An FCD observation.
+    Fcd {
+        /// Observation time.
+        at: SimTime,
+        /// The frame construction delay.
+        fcd: SimDuration,
+    },
+    /// A FEC packet was used to recover a loss.
+    FecRecovered,
+    /// A FEC packet arrived.
+    FecReceived,
+}
+
+/// Per-path receive statistics for one RTCP interval.
+#[derive(Debug, Default)]
+struct PathRxState {
+    /// Highest transport sequence seen.
+    max_transport_seq: Option<u64>,
+    /// Transport seqs received since the last feedback, with arrival times.
+    pending_feedback: Vec<(u64, SimTime)>,
+    /// Packets received in the current loss-report interval.
+    received_in_interval: u64,
+    /// First transport seq of the interval.
+    interval_start_seq: Option<u64>,
+    /// Cumulative lost estimate.
+    cumulative_lost: u64,
+    /// RFC 3550 interarrival jitter estimate, microseconds.
+    jitter_us: f64,
+    /// Transit time (arrival − send) of the previous packet, for the
+    /// jitter difference.
+    last_transit_us: Option<i64>,
+}
+
+impl PathRxState {
+    /// Feeds one packet's timing into the RFC 3550 jitter filter:
+    /// `J += (|D| − J) / 16` where `D` is the transit-time difference of
+    /// consecutive packets.
+    fn update_jitter(&mut self, sent_at: SimTime, arrived_at: SimTime) {
+        let transit = arrived_at.as_micros() as i64 - sent_at.as_micros() as i64;
+        if let Some(prev) = self.last_transit_us {
+            let d = (transit - prev).abs() as f64;
+            self.jitter_us += (d - self.jitter_us) / 16.0;
+        }
+        self.last_transit_us = Some(transit);
+    }
+}
+
+/// Per-stream receive pipeline.
+struct StreamRx {
+    packet_buffer: PacketBuffer,
+    frame_buffer: FrameBuffer,
+    monitor: QoeMonitor,
+    /// Highest media sequence seen (for NACK gap detection).
+    max_media_seq: Option<u64>,
+    /// Missing media seqs → when first noticed.
+    missing: BTreeMap<u64, SimTime>,
+    /// NACK attempts per missing seq.
+    nacked: BTreeMap<u64, u8>,
+    /// Recently received media packets by sequence (for FEC recovery).
+    recent: BTreeMap<u64, VideoPacket>,
+    recent_order: VecDeque<u64>,
+    /// FCD of the last completed frame (paired with the frame-buffer IFD).
+    last_fcd: SimDuration,
+    /// Frames completed thanks to FEC recovery (latency penalty applies).
+    fec_assisted: BTreeSet<u64>,
+    /// Whether the decode chain broke and a keyframe is needed.
+    keyframe_needed: bool,
+}
+
+/// An FEC group waiting for a recovery opportunity.
+struct PendingFec {
+    stream: StreamId,
+    protected: Vec<VideoPacket>,
+    arrived_at: SimTime,
+}
+
+/// The conference receiver.
+pub struct ConferenceReceiver {
+    streams: BTreeMap<StreamId, StreamRx>,
+    paths: BTreeMap<PathId, PathRxState>,
+    pending_fec: Vec<PendingFec>,
+    /// Keyframe request cooldown per stream.
+    last_pli: BTreeMap<StreamId, SimTime>,
+    pli_cooldown: SimDuration,
+    /// How long a gap must persist before NACKing (reordering tolerance).
+    nack_delay: SimDuration,
+    /// Decode-pipeline latency applied to every frame.
+    decode_latency: SimDuration,
+    /// Extra latency when a frame needed FEC recovery (paper §2.1: "FEC
+    /// decoding incurs non-negligible latency").
+    fec_penalty: SimDuration,
+    /// PLIs issued.
+    pli_count: u64,
+}
+
+impl ConferenceReceiver {
+    /// Creates a receiver for `n_streams` streams over `paths`, expecting
+    /// `fps` frames per second per stream.
+    pub fn new(n_streams: u8, paths: &[PathId], fps: u32, fast_path: PathId) -> Self {
+        let streams = (0..n_streams)
+            .map(|i| {
+                (
+                    StreamId(i),
+                    StreamRx {
+                        packet_buffer: PacketBuffer::new(768),
+                        frame_buffer: FrameBuffer::new(12),
+                        monitor: QoeMonitor::new(i as u32, fps, fast_path),
+                        max_media_seq: None,
+                        missing: BTreeMap::new(),
+                        nacked: BTreeMap::new(),
+                        recent: BTreeMap::new(),
+                        recent_order: VecDeque::new(),
+                        last_fcd: SimDuration::ZERO,
+                        fec_assisted: BTreeSet::new(),
+                        keyframe_needed: false,
+                    },
+                )
+            })
+            .collect();
+        ConferenceReceiver {
+            streams,
+            paths: paths.iter().map(|&p| (p, PathRxState::default())).collect(),
+            pending_fec: Vec::new(),
+            last_pli: BTreeMap::new(),
+            pli_cooldown: SimDuration::from_millis(500),
+            nack_delay: SimDuration::from_millis(60),
+            decode_latency: SimDuration::from_millis(20),
+            fec_penalty: SimDuration::from_millis(10),
+            pli_count: 0,
+        }
+    }
+
+    /// Total PLIs issued.
+    pub fn pli_count(&self) -> u64 {
+        self.pli_count
+    }
+
+    /// Updates which path the QoE monitors treat as the fast reference.
+    pub fn set_fast_path(&mut self, path: PathId) {
+        for rx in self.streams.values_mut() {
+            rx.monitor.set_fast_path(path);
+        }
+    }
+
+    /// Handles the sender's SDES frame-rate advertisement.
+    pub fn on_sdes_frame_rate(&mut self, fps: u32) {
+        for rx in self.streams.values_mut() {
+            rx.monitor.set_frame_rate(fps);
+        }
+    }
+
+    /// Processes one arriving RTP packet; returns receiver events.
+    pub fn on_rtp(&mut self, now: SimTime, rtp: &SimRtp) -> Vec<ReceiverEvent> {
+        // Per-path transport accounting (all RTP kinds count).
+        let path_state = self.paths.entry(rtp.path).or_default();
+        path_state.pending_feedback.push((rtp.transport_seq, now));
+        path_state.received_in_interval += 1;
+        path_state.update_jitter(rtp.sent_at, now);
+        path_state.max_transport_seq = Some(
+            path_state
+                .max_transport_seq
+                .map_or(rtp.transport_seq, |m| m.max(rtp.transport_seq)),
+        );
+
+        let mut events = Vec::new();
+        match &rtp.kind {
+            RtpKind::Media(p) | RtpKind::Retransmission(p) => {
+                self.on_video_packet(now, rtp.path, *p, &mut events);
+            }
+            RtpKind::Fec {
+                stream, protected, ..
+            } => {
+                events.push(ReceiverEvent::FecReceived);
+                self.pending_fec.push(PendingFec {
+                    stream: *stream,
+                    protected: protected.clone(),
+                    arrived_at: now,
+                });
+                self.try_fec_recovery(now, &mut events);
+                // Bound memory: drop stale groups.
+                self.pending_fec
+                    .retain(|g| now.saturating_since(g.arrived_at) < SimDuration::from_secs(2));
+            }
+            RtpKind::Probe { .. } => {}
+        }
+        events
+    }
+
+    fn on_video_packet(
+        &mut self,
+        now: SimTime,
+        path: PathId,
+        packet: VideoPacket,
+        events: &mut Vec<ReceiverEvent>,
+    ) {
+        let decode_latency = self.decode_latency;
+        let fec_penalty = self.fec_penalty;
+        let Some(rx) = self.streams.get_mut(&packet.stream) else {
+            return;
+        };
+
+        // NACK gap tracking on media sequences.
+        match rx.max_media_seq {
+            None => rx.max_media_seq = Some(packet.sequence),
+            Some(max) if packet.sequence > max => {
+                for missing in (max + 1)..packet.sequence {
+                    rx.missing.entry(missing).or_insert(now);
+                }
+                rx.max_media_seq = Some(packet.sequence);
+            }
+            Some(_) => {
+                // Filling a gap (reordered or retransmitted).
+                rx.missing.remove(&packet.sequence);
+                rx.nacked.remove(&packet.sequence);
+            }
+        }
+
+        // Remember for FEC recovery.
+        if rx.recent.insert(packet.sequence, packet).is_none() {
+            rx.recent_order.push_back(packet.sequence);
+        }
+        while rx.recent_order.len() > 4_096 {
+            if let Some(old) = rx.recent_order.pop_front() {
+                rx.recent.remove(&old);
+            }
+        }
+
+        rx.monitor.on_packet(now, path, packet.frame_id);
+        if packet.kind == PacketKind::Sps {
+            // SPS feeds the GOP ledger, not the packet buffer.
+            rx.frame_buffer.sps_received(packet.gop_id);
+        } else {
+            let pb_events = rx.packet_buffer.insert(now, &packet);
+            Self::process_pb_events(rx, now, pb_events, events, decode_latency, fec_penalty);
+        }
+
+        // A late media packet may make a pending FEC group recoverable.
+        self.try_fec_recovery(now, events);
+    }
+
+    fn process_pb_events(
+        rx: &mut StreamRx,
+        now: SimTime,
+        pb_events: Vec<PacketBufferEvent>,
+        events: &mut Vec<ReceiverEvent>,
+        decode_latency: SimDuration,
+        fec_penalty: SimDuration,
+    ) {
+        for ev in pb_events {
+            match ev {
+                PacketBufferEvent::FrameComplete(frame) => {
+                    rx.last_fcd = frame.fcd();
+                    events.push(ReceiverEvent::Fcd {
+                        at: now,
+                        fcd: frame.fcd(),
+                    });
+                    let fb_events = rx.frame_buffer.insert(now, frame);
+                    for fe in fb_events {
+                        match fe {
+                            FrameBufferEvent::FrameEntered { frame_id, ifd } => {
+                                if let Some(ifd) = ifd {
+                                    events.push(ReceiverEvent::Ifd { at: now, ifd });
+                                }
+                                rx.monitor.on_frame_entered(now, frame_id, ifd, rx.last_fcd);
+                            }
+                            FrameBufferEvent::Decoded { frame, at } => {
+                                let mut e2e =
+                                    at.saturating_since(frame.capture_time) + decode_latency;
+                                if rx.fec_assisted.remove(&frame.frame_id) {
+                                    e2e += fec_penalty;
+                                }
+                                events.push(ReceiverEvent::FrameDecoded {
+                                    stream: frame.stream,
+                                    at,
+                                    e2e,
+                                });
+                            }
+                            FrameBufferEvent::Dropped { frame_id, reason } => {
+                                rx.packet_buffer.purge_frame(frame_id);
+                                events.push(ReceiverEvent::FrameDropped { reason });
+                            }
+                            FrameBufferEvent::KeyframeNeeded => {
+                                rx.keyframe_needed = true;
+                            }
+                        }
+                    }
+                }
+                PacketBufferEvent::FrameEvicted { .. } => {
+                    events.push(ReceiverEvent::FrameDropped {
+                        reason: converge_video::DropReason::BufferFull,
+                    });
+                }
+                PacketBufferEvent::StalePacket { .. } | PacketBufferEvent::Duplicate { .. } => {}
+            }
+        }
+    }
+
+    /// Attempts FEC recovery across all pending groups.
+    fn try_fec_recovery(&mut self, now: SimTime, events: &mut Vec<ReceiverEvent>) {
+        let mut recovered: Vec<(StreamId, VideoPacket)> = Vec::new();
+        let streams = &self.streams;
+        self.pending_fec.retain(|group| {
+            let Some(rx) = streams.get(&group.stream) else {
+                return false;
+            };
+            let missing: Vec<&VideoPacket> = group
+                .protected
+                .iter()
+                .filter(|p| !rx.recent.contains_key(&p.sequence))
+                .collect();
+            match missing.len() {
+                0 => false, // everything arrived; group no longer needed
+                1 => {
+                    let p = *missing[0];
+                    // Only useful if the frame hasn't been abandoned.
+                    if rx.packet_buffer.is_finished(p.frame_id)
+                        || rx.frame_buffer.is_abandoned(p.frame_id)
+                    {
+                        return false;
+                    }
+                    recovered.push((group.stream, p));
+                    false
+                }
+                _ => true, // keep waiting for more packets
+            }
+        });
+        let decode_latency = self.decode_latency;
+        let fec_penalty = self.fec_penalty;
+        for (stream, packet) in recovered {
+            events.push(ReceiverEvent::FecRecovered);
+            if let Some(rx) = self.streams.get_mut(&stream) {
+                rx.fec_assisted.insert(packet.frame_id);
+                // A recovered packet no longer needs NACKing.
+                rx.missing.remove(&packet.sequence);
+                rx.nacked.remove(&packet.sequence);
+                if rx.recent.insert(packet.sequence, packet).is_none() {
+                    rx.recent_order.push_back(packet.sequence);
+                }
+                if packet.kind == PacketKind::Sps {
+                    rx.frame_buffer.sps_received(packet.gop_id);
+                } else {
+                    let pb_events = rx.packet_buffer.insert(now, &packet);
+                    Self::process_pb_events(
+                        rx,
+                        now,
+                        pb_events,
+                        events,
+                        decode_latency,
+                        fec_penalty,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Builds the periodic RTCP batch: per-path RR + transport feedback,
+    /// NACKs for persistent gaps, PLIs for broken decode chains, and QoE
+    /// feedback from the monitors. Returns `(path, packet)` pairs — each
+    /// path's reports travel back over that same path. `sr_info` maps path
+    /// → (last SR send-time ms, SR arrival instant) for RTT computation.
+    pub fn poll_rtcp(
+        &mut self,
+        now: SimTime,
+        sr_info: &BTreeMap<PathId, (u64, SimTime)>,
+    ) -> Vec<(PathId, RtcpPacket)> {
+        self.poll_rtcp_with(now, sr_info, true)
+    }
+
+    /// Like [`ConferenceReceiver::poll_rtcp`], but transport feedback and
+    /// receiver reports (which drive GCC) are only included when
+    /// `include_transport` is set. The paper's GCC runs off RTCP-paced
+    /// reports, which are slower than the QoE/NACK feedback loop.
+    pub fn poll_rtcp_with(
+        &mut self,
+        now: SimTime,
+        sr_info: &BTreeMap<PathId, (u64, SimTime)>,
+        include_transport: bool,
+    ) -> Vec<(PathId, RtcpPacket)> {
+        let mut out = Vec::new();
+
+        for (&path, st) in self.paths.iter_mut() {
+            if !include_transport {
+                break;
+            }
+            if !st.pending_feedback.is_empty() {
+                let arrivals: Vec<(u16, u64)> = st
+                    .pending_feedback
+                    .drain(..)
+                    .map(|(seq, at)| ((seq & 0xFFFF) as u16, at.as_micros()))
+                    .collect();
+                out.push((
+                    path,
+                    RtcpPacket::TransportFeedback(TransportFeedback {
+                        path_id: path.0,
+                        ssrc: 0,
+                        arrivals,
+                    }),
+                ));
+            }
+            // Loss estimate over the interval from transport seq deltas.
+            let fraction_lost = match (st.interval_start_seq, st.max_transport_seq) {
+                (Some(start), Some(max)) if max >= start => {
+                    let expected = max - start + 1;
+                    let lost = expected.saturating_sub(st.received_in_interval);
+                    st.cumulative_lost += lost;
+                    if expected > 0 {
+                        lost as f64 / expected as f64
+                    } else {
+                        0.0
+                    }
+                }
+                _ => 0.0,
+            };
+            st.interval_start_seq = st.max_transport_seq.map(|m| m + 1);
+            st.received_in_interval = 0;
+
+            let (lsr, dlsr) = sr_info
+                .get(&path)
+                .map(|&(sr_ms, arrived)| {
+                    (
+                        (sr_ms & 0xFFFF_FFFF) as u32,
+                        (now.saturating_since(arrived).as_millis() & 0xFFFF_FFFF) as u32,
+                    )
+                })
+                .unwrap_or((0, 0));
+            out.push((
+                path,
+                RtcpPacket::ReceiverReport(ReceiverReport {
+                    path_id: path.0,
+                    ssrc: 0,
+                    blocks: vec![ReportBlock {
+                        ssrc: 0,
+                        fraction_lost: (fraction_lost * 256.0).min(255.0) as u8,
+                        cumulative_lost: st.cumulative_lost.min(0xFF_FFFF) as u32,
+                        ext_highest_seq: st.max_transport_seq.unwrap_or(0) as u32,
+                        ext_highest_mp_seq: st.max_transport_seq.unwrap_or(0) as u32,
+                        // Jitter reported in 90 kHz RTP timestamp units as
+                        // RFC 3550 specifies (micros × 0.09).
+                        jitter: (st.jitter_us * 0.09) as u32,
+                        last_sr: lsr,
+                        delay_since_last_sr: dlsr,
+                    }],
+                }),
+            ));
+        }
+
+        // Control messages travel on the first path (small packets; the
+        // emulated reverse directions are uncongested).
+        let control_path = *self.paths.keys().next().expect("at least one path");
+
+        for (&stream, rx) in self.streams.iter_mut() {
+            // NACKs: gaps older than the reordering delay, max 2 attempts.
+            let mut to_nack: Vec<u16> = Vec::new();
+            let mut give_up: Vec<u64> = Vec::new();
+            for (&seq, &first_seen) in &rx.missing {
+                if now.saturating_since(first_seen) < self.nack_delay {
+                    continue;
+                }
+                let attempts = rx.nacked.get(&seq).copied().unwrap_or(0);
+                if attempts >= 2 {
+                    give_up.push(seq);
+                    continue;
+                }
+                rx.nacked.insert(seq, attempts + 1);
+                to_nack.push((seq & 0xFFFF) as u16);
+                if to_nack.len() >= 30 {
+                    break;
+                }
+            }
+            for seq in give_up {
+                rx.missing.remove(&seq);
+                rx.nacked.remove(&seq);
+            }
+            if !to_nack.is_empty() {
+                out.push((
+                    control_path,
+                    RtcpPacket::Nack(Nack {
+                        path_id: control_path.0,
+                        ssrc: stream.0 as u32,
+                        lost: to_nack,
+                    }),
+                ));
+            }
+
+            // PLI with cooldown.
+            if rx.keyframe_needed {
+                let due = self
+                    .last_pli
+                    .get(&stream)
+                    .is_none_or(|&t| now.saturating_since(t) >= self.pli_cooldown);
+                if due {
+                    self.last_pli.insert(stream, now);
+                    self.pli_count += 1;
+                    out.push((
+                        control_path,
+                        RtcpPacket::Pli(Pli {
+                            path_id: control_path.0,
+                            ssrc: stream.0 as u32,
+                        }),
+                    ));
+                }
+                rx.keyframe_needed = false;
+            }
+
+            // QoE feedback from the monitor.
+            for fb in rx.monitor.take_feedback() {
+                out.push((
+                    control_path,
+                    RtcpPacket::QoeFeedback(QoeFeedback {
+                        ssrc: stream.0 as u32,
+                        ..fb
+                    }),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use converge_video::FrameType;
+
+    const P0: PathId = PathId(0);
+    const P1: PathId = PathId(1);
+
+    fn receiver() -> ConferenceReceiver {
+        ConferenceReceiver::new(1, &[P0, P1], 30, P0)
+    }
+
+    fn vp(seq: u64, frame_id: u64, kind: PacketKind) -> VideoPacket {
+        VideoPacket {
+            stream: StreamId(0),
+            sequence: seq,
+            frame_id,
+            gop_id: 0,
+            frame_type: if frame_id == 0 {
+                FrameType::Key
+            } else {
+                FrameType::Delta
+            },
+            kind,
+            size: 1200,
+            capture_time: SimTime::from_millis(frame_id * 33),
+        }
+    }
+
+    fn rtp(tseq: u64, kind: RtpKind) -> SimRtp {
+        SimRtp {
+            kind,
+            path: P0,
+            transport_seq: tseq,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    /// Frame 0: SPS(0) PPS(1) M0(2) M1(3).
+    fn frame0_packets() -> Vec<VideoPacket> {
+        vec![
+            vp(0, 0, PacketKind::Sps),
+            vp(1, 0, PacketKind::Pps),
+            vp(2, 0, PacketKind::Media { index: 0, count: 2 }),
+            vp(3, 0, PacketKind::Media { index: 1, count: 2 }),
+        ]
+    }
+
+    #[test]
+    fn complete_frame_decodes() {
+        let mut r = receiver();
+        let mut decoded = 0;
+        for (i, p) in frame0_packets().into_iter().enumerate() {
+            let evs = r.on_rtp(
+                SimTime::from_millis(40 + i as u64),
+                &rtp(i as u64, RtpKind::Media(p)),
+            );
+            decoded += evs
+                .iter()
+                .filter(|e| matches!(e, ReceiverEvent::FrameDecoded { .. }))
+                .count();
+        }
+        assert_eq!(decoded, 1);
+    }
+
+    #[test]
+    fn e2e_includes_decode_latency() {
+        let mut r = receiver();
+        let mut e2e = None;
+        for (i, p) in frame0_packets().into_iter().enumerate() {
+            let evs = r.on_rtp(SimTime::from_millis(50), &rtp(i as u64, RtpKind::Media(p)));
+            for e in evs {
+                if let ReceiverEvent::FrameDecoded { e2e: v, .. } = e {
+                    e2e = Some(v);
+                }
+            }
+        }
+        // Capture at 0, decode at 50 ms + 20 ms pipeline = 70 ms.
+        assert_eq!(e2e.unwrap().as_millis(), 70);
+    }
+
+    #[test]
+    fn gap_triggers_nack_after_delay() {
+        let mut r = receiver();
+        // Deliver seq 0 and 5: gap 1..=4.
+        r.on_rtp(
+            SimTime::from_millis(0),
+            &rtp(0, RtpKind::Media(vp(0, 0, PacketKind::Sps))),
+        );
+        r.on_rtp(
+            SimTime::from_millis(5),
+            &rtp(1, RtpKind::Media(vp(5, 1, PacketKind::Pps))),
+        );
+        // Too early: no NACK yet.
+        let rtcp = r.poll_rtcp(SimTime::from_millis(20), &BTreeMap::new());
+        assert!(!rtcp.iter().any(|(_, p)| matches!(p, RtcpPacket::Nack(_))));
+        // After the reordering delay: NACK for 1..=4.
+        let rtcp = r.poll_rtcp(SimTime::from_millis(100), &BTreeMap::new());
+        let nack = rtcp
+            .iter()
+            .find_map(|(_, p)| match p {
+                RtcpPacket::Nack(n) => Some(n),
+                _ => None,
+            })
+            .expect("nack expected");
+        assert_eq!(nack.lost, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nack_gives_up_after_two_attempts() {
+        let mut r = receiver();
+        r.on_rtp(
+            SimTime::ZERO,
+            &rtp(0, RtpKind::Media(vp(0, 0, PacketKind::Sps))),
+        );
+        r.on_rtp(
+            SimTime::from_millis(1),
+            &rtp(1, RtpKind::Media(vp(2, 0, PacketKind::Pps))),
+        );
+        let count_nacks = |rtcp: &[(PathId, RtcpPacket)]| {
+            rtcp.iter()
+                .filter(|(_, p)| matches!(p, RtcpPacket::Nack(_)))
+                .count()
+        };
+        assert_eq!(
+            count_nacks(&r.poll_rtcp(SimTime::from_millis(100), &BTreeMap::new())),
+            1
+        );
+        assert_eq!(
+            count_nacks(&r.poll_rtcp(SimTime::from_millis(200), &BTreeMap::new())),
+            1
+        );
+        // Third attempt: given up.
+        assert_eq!(
+            count_nacks(&r.poll_rtcp(SimTime::from_millis(300), &BTreeMap::new())),
+            0
+        );
+    }
+
+    #[test]
+    fn retransmission_fills_gap() {
+        let mut r = receiver();
+        r.on_rtp(
+            SimTime::ZERO,
+            &rtp(0, RtpKind::Media(vp(0, 0, PacketKind::Sps))),
+        );
+        r.on_rtp(
+            SimTime::from_millis(1),
+            &rtp(1, RtpKind::Media(vp(2, 0, PacketKind::Pps))),
+        );
+        // Retransmission of seq 1 arrives before the NACK timer.
+        r.on_rtp(
+            SimTime::from_millis(30),
+            &rtp(
+                2,
+                RtpKind::Retransmission(vp(1, 0, PacketKind::Media { index: 0, count: 2 })),
+            ),
+        );
+        let rtcp = r.poll_rtcp(SimTime::from_millis(100), &BTreeMap::new());
+        assert!(!rtcp.iter().any(|(_, p)| matches!(p, RtcpPacket::Nack(_))));
+    }
+
+    #[test]
+    fn fec_recovers_single_missing_packet() {
+        let mut r = receiver();
+        let pkts = frame0_packets();
+        // Deliver all but the last media packet.
+        for (i, p) in pkts.iter().take(3).enumerate() {
+            r.on_rtp(
+                SimTime::from_millis(i as u64),
+                &rtp(i as u64, RtpKind::Media(*p)),
+            );
+        }
+        // FEC protecting both media packets arrives.
+        let evs = r.on_rtp(
+            SimTime::from_millis(10),
+            &rtp(
+                3,
+                RtpKind::Fec {
+                    stream: StreamId(0),
+                    protected: vec![pkts[2], pkts[3]],
+                    origin_path: P0,
+                },
+            ),
+        );
+        assert!(evs.contains(&ReceiverEvent::FecRecovered));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, ReceiverEvent::FrameDecoded { .. })));
+    }
+
+    #[test]
+    fn fec_cannot_recover_two_losses_until_one_arrives() {
+        let mut r = receiver();
+        let pkts = frame0_packets();
+        // Only SPS and PPS arrive; both media packets missing.
+        for (i, p) in pkts.iter().take(2).enumerate() {
+            r.on_rtp(
+                SimTime::from_millis(i as u64),
+                &rtp(i as u64, RtpKind::Media(*p)),
+            );
+        }
+        let evs = r.on_rtp(
+            SimTime::from_millis(10),
+            &rtp(
+                2,
+                RtpKind::Fec {
+                    stream: StreamId(0),
+                    protected: vec![pkts[2], pkts[3]],
+                    origin_path: P0,
+                },
+            ),
+        );
+        assert!(!evs.contains(&ReceiverEvent::FecRecovered));
+        // Group stays pending: a late media arrival triggers recovery.
+        let evs = r.on_rtp(SimTime::from_millis(20), &rtp(3, RtpKind::Media(pkts[2])));
+        assert!(evs.contains(&ReceiverEvent::FecRecovered));
+    }
+
+    #[test]
+    fn fec_adds_latency_penalty() {
+        let mut r = receiver();
+        let pkts = frame0_packets();
+        for (i, p) in pkts.iter().take(3).enumerate() {
+            r.on_rtp(SimTime::from_millis(50), &rtp(i as u64, RtpKind::Media(*p)));
+        }
+        let evs = r.on_rtp(
+            SimTime::from_millis(50),
+            &rtp(
+                3,
+                RtpKind::Fec {
+                    stream: StreamId(0),
+                    protected: vec![pkts[2], pkts[3]],
+                    origin_path: P0,
+                },
+            ),
+        );
+        let e2e = evs
+            .iter()
+            .find_map(|e| match e {
+                ReceiverEvent::FrameDecoded { e2e, .. } => Some(*e2e),
+                _ => None,
+            })
+            .expect("decoded");
+        // 50 ms transit + 20 ms decode + 10 ms FEC penalty.
+        assert_eq!(e2e.as_millis(), 80);
+    }
+
+    #[test]
+    fn loss_reported_in_receiver_report() {
+        let mut r = receiver();
+        // Transport seqs 0 and 9 received → 8 lost in the interval.
+        r.on_rtp(SimTime::ZERO, &rtp(0, RtpKind::Probe { probe_seq: 0 }));
+        r.on_rtp(
+            SimTime::from_millis(5),
+            &rtp(9, RtpKind::Probe { probe_seq: 1 }),
+        );
+        // First poll establishes the interval; loss shows in the second.
+        let rtcp = r.poll_rtcp(SimTime::from_millis(100), &BTreeMap::new());
+        let rr = rtcp
+            .iter()
+            .find_map(|(p, pkt)| match pkt {
+                RtcpPacket::ReceiverReport(rr) if *p == P0 => Some(rr),
+                _ => None,
+            })
+            .expect("rr");
+        let frac = rr.blocks[0].fraction_lost as f64 / 256.0;
+        assert!(frac <= 0.01, "first interval has no baseline: {frac}");
+        // Next interval: seqs 10..=19, only 10 and 19 received.
+        r.on_rtp(
+            SimTime::from_millis(110),
+            &rtp(10, RtpKind::Probe { probe_seq: 2 }),
+        );
+        r.on_rtp(
+            SimTime::from_millis(120),
+            &rtp(19, RtpKind::Probe { probe_seq: 3 }),
+        );
+        let rtcp = r.poll_rtcp(SimTime::from_millis(200), &BTreeMap::new());
+        let rr = rtcp
+            .iter()
+            .find_map(|(p, pkt)| match pkt {
+                RtcpPacket::ReceiverReport(rr) if *p == P0 => Some(rr),
+                _ => None,
+            })
+            .expect("rr");
+        let frac = rr.blocks[0].fraction_lost as f64 / 256.0;
+        assert!((frac - 0.8).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn transport_feedback_carries_arrivals() {
+        let mut r = receiver();
+        r.on_rtp(
+            SimTime::from_millis(7),
+            &rtp(42, RtpKind::Probe { probe_seq: 0 }),
+        );
+        let rtcp = r.poll_rtcp(SimTime::from_millis(50), &BTreeMap::new());
+        let tf = rtcp
+            .iter()
+            .find_map(|(_, p)| match p {
+                RtcpPacket::TransportFeedback(tf) => Some(tf),
+                _ => None,
+            })
+            .expect("tf");
+        assert_eq!(tf.arrivals, vec![(42, 7_000)]);
+        // Drained: next poll has no transport feedback.
+        let rtcp = r.poll_rtcp(SimTime::from_millis(100), &BTreeMap::new());
+        assert!(!rtcp
+            .iter()
+            .any(|(_, p)| matches!(p, RtcpPacket::TransportFeedback(_))));
+    }
+
+    #[test]
+    fn pli_issued_when_decode_chain_breaks() {
+        let mut r = receiver();
+        // A complete delta frame before any keyframe → KeyframeNeeded.
+        let mut pps = vp(1, 5, PacketKind::Pps);
+        pps.frame_type = FrameType::Delta;
+        let mut m = vp(2, 5, PacketKind::Media { index: 0, count: 1 });
+        m.frame_type = FrameType::Delta;
+        r.on_rtp(SimTime::from_millis(1), &rtp(1, RtpKind::Media(pps)));
+        r.on_rtp(SimTime::from_millis(2), &rtp(2, RtpKind::Media(m)));
+        let rtcp = r.poll_rtcp(SimTime::from_millis(10), &BTreeMap::new());
+        assert!(rtcp.iter().any(|(_, p)| matches!(p, RtcpPacket::Pli(_))));
+        assert_eq!(r.pli_count(), 1);
+    }
+
+    #[test]
+    fn jitter_estimate_tracks_delay_variation() {
+        let mut r = receiver();
+        // Constant transit: jitter stays ~0.
+        for i in 0..50u64 {
+            r.on_rtp(
+                SimTime::from_millis(i * 20 + 30),
+                &SimRtp {
+                    kind: RtpKind::Probe { probe_seq: i },
+                    path: P0,
+                    transport_seq: i,
+                    sent_at: SimTime::from_millis(i * 20),
+                },
+            );
+        }
+        let rtcp = r.poll_rtcp(SimTime::from_secs(2), &BTreeMap::new());
+        let rr0 = rtcp
+            .iter()
+            .find_map(|(p, pkt)| match pkt {
+                RtcpPacket::ReceiverReport(rr) if *p == P0 => Some(rr),
+                _ => None,
+            })
+            .expect("rr");
+        assert!(
+            rr0.blocks[0].jitter < 5,
+            "constant transit: {}",
+            rr0.blocks[0].jitter
+        );
+        // Alternating transit on P1: jitter grows.
+        let mut r = receiver();
+        for i in 0..50u64 {
+            let wobble = if i % 2 == 0 { 0 } else { 20 };
+            r.on_rtp(
+                SimTime::from_millis(i * 20 + 30 + wobble),
+                &SimRtp {
+                    kind: RtpKind::Probe { probe_seq: i },
+                    path: P1,
+                    transport_seq: i,
+                    sent_at: SimTime::from_millis(i * 20),
+                },
+            );
+        }
+        let rtcp = r.poll_rtcp(SimTime::from_secs(2), &BTreeMap::new());
+        let rr1 = rtcp
+            .iter()
+            .find_map(|(p, pkt)| match pkt {
+                RtcpPacket::ReceiverReport(rr) if *p == P1 => Some(rr),
+                _ => None,
+            })
+            .expect("rr");
+        // ~20 ms alternating wobble → jitter near 20 ms = 1800 ticks.
+        assert!(
+            rr1.blocks[0].jitter > 900,
+            "wobbly transit: {}",
+            rr1.blocks[0].jitter
+        );
+    }
+
+    #[test]
+    fn rr_carries_rtt_echo() {
+        let mut r = receiver();
+        r.on_rtp(
+            SimTime::from_millis(5),
+            &rtp(0, RtpKind::Probe { probe_seq: 0 }),
+        );
+        let mut sr_info = BTreeMap::new();
+        sr_info.insert(P0, (1_000u64, SimTime::from_millis(1_040)));
+        let rtcp = r.poll_rtcp(SimTime::from_millis(1_100), &sr_info);
+        let rr = rtcp
+            .iter()
+            .find_map(|(p, pkt)| match pkt {
+                RtcpPacket::ReceiverReport(rr) if *p == P0 => Some(rr),
+                _ => None,
+            })
+            .expect("rr");
+        assert_eq!(rr.blocks[0].last_sr, 1_000);
+        assert_eq!(rr.blocks[0].delay_since_last_sr, 60);
+    }
+}

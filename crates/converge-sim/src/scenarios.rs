@@ -1,0 +1,453 @@
+//! Scenario construction: the network setups of the paper's evaluation and
+//! factories for schedulers and FEC policies.
+
+use converge_core::{
+    ConnectionMigration, ConvergeFec, ConvergeScheduler, ConvergeSchedulerConfig, FecPolicy,
+    MRtpScheduler, MTputScheduler, Scheduler, SinglePathScheduler, SrttScheduler, WebRtcTableFec,
+};
+use converge_net::{
+    trace, Carrier, LinkConfig, LossModel, Path, PathId, QueueDiscipline, RateTrace, Scenario,
+    SimDuration,
+};
+
+/// Which scheduler to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SchedulerKind {
+    /// Converge's video-aware scheduler with feedback.
+    Converge,
+    /// Converge with the QoE feedback loop disabled (ablation, Fig. 11).
+    ConvergeNoFeedback,
+    /// Converge with packet priorities disabled (video-awareness ablation).
+    ConvergeNoPriority,
+    /// Converge selecting the fast path by minRTT instead of completion
+    /// time (Algorithm 1 ablation).
+    ConvergeMinRttFast,
+    /// Single-path WebRTC pinned to a path index.
+    SinglePath(u8),
+    /// WebRTC-CM starting on a path index.
+    ConnectionMigration(u8),
+    /// minRTT (the MPTCP/MPQUIC default).
+    Srtt,
+    /// Musher-style throughput-proportional.
+    MTput,
+    /// MPRTP-style loss-discounted rate splitting.
+    MRtp,
+}
+
+impl SchedulerKind {
+    /// Human-readable label matching the paper's terminology.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Converge => "Converge",
+            SchedulerKind::ConvergeNoFeedback => "Converge (no feedback)",
+            SchedulerKind::ConvergeNoPriority => "Converge (no priority)",
+            SchedulerKind::ConvergeMinRttFast => "Converge (minRTT fast path)",
+            SchedulerKind::SinglePath(_) => "WebRTC",
+            SchedulerKind::ConnectionMigration(_) => "WebRTC-CM",
+            SchedulerKind::Srtt => "SRTT",
+            SchedulerKind::MTput => "M-TPUT",
+            SchedulerKind::MRtp => "M-RTP",
+        }
+    }
+
+    /// Builds the scheduler.
+    pub fn build(&self, frame_interval: SimDuration) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerKind::Converge => {
+                let cfg = ConvergeSchedulerConfig {
+                    batch_interval: frame_interval,
+                    ..Default::default()
+                };
+                Box::new(ConvergeScheduler::new(cfg))
+            }
+            SchedulerKind::ConvergeNoFeedback => {
+                let cfg = ConvergeSchedulerConfig {
+                    batch_interval: frame_interval,
+                    use_feedback: false,
+                    ..Default::default()
+                };
+                Box::new(ConvergeScheduler::new(cfg))
+            }
+            SchedulerKind::ConvergeNoPriority => {
+                let cfg = ConvergeSchedulerConfig {
+                    batch_interval: frame_interval,
+                    use_priority: false,
+                    ..Default::default()
+                };
+                Box::new(ConvergeScheduler::new(cfg))
+            }
+            SchedulerKind::ConvergeMinRttFast => {
+                let cfg = ConvergeSchedulerConfig {
+                    batch_interval: frame_interval,
+                    fast_path_metric: converge_core::FastPathMetric::MinRtt,
+                    ..Default::default()
+                };
+                Box::new(ConvergeScheduler::new(cfg))
+            }
+            SchedulerKind::SinglePath(p) => Box::new(SinglePathScheduler::new(PathId(p))),
+            SchedulerKind::ConnectionMigration(p) => Box::new(ConnectionMigration::new(PathId(p))),
+            SchedulerKind::Srtt => Box::new(SrttScheduler::new(1250, frame_interval)),
+            SchedulerKind::MTput => Box::new(MTputScheduler::new()),
+            SchedulerKind::MRtp => Box::new(MRtpScheduler::new()),
+        }
+    }
+}
+
+/// Which FEC policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FecKind {
+    /// Converge's path-specific `l·P·β` controller.
+    Converge,
+    /// WebRTC's static table-based controller.
+    WebRtcTable,
+    /// No FEC at all (ablation).
+    None,
+}
+
+/// A no-op FEC policy for ablations.
+#[derive(Debug)]
+struct NoFec;
+
+impl FecPolicy for NoFec {
+    fn name(&self) -> &'static str {
+        "no-fec"
+    }
+    fn repair_count(&mut self, _: PathId, _: usize, _: f64, _: bool) -> usize {
+        0
+    }
+}
+
+impl FecKind {
+    /// Builds the policy.
+    pub fn build(&self) -> Box<dyn FecPolicy> {
+        match self {
+            FecKind::Converge => Box::new(ConvergeFec::new()),
+            FecKind::WebRtcTable => Box::new(WebRtcTableFec::new()),
+            FecKind::None => Box::new(NoFec),
+        }
+    }
+}
+
+/// A path specification for scenario construction.
+#[derive(Debug, Clone)]
+pub struct PathSpec {
+    /// Forward bandwidth trace.
+    pub rate: RateTrace,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+    /// Random loss model.
+    pub loss: LossModel,
+    /// Queue capacity in bytes.
+    pub queue_bytes: usize,
+    /// Per-packet delay jitter bound (uniform in [0, jitter]); cellular
+    /// air-interface scheduling reorders packets, which the receiver's
+    /// buffers must absorb.
+    pub jitter: SimDuration,
+    /// Bottleneck queue discipline (drop-tail unless an AQM experiment
+    /// overrides it).
+    pub discipline: QueueDiscipline,
+}
+
+impl PathSpec {
+    /// A constant-rate path.
+    pub fn constant(rate_bps: u64, one_way_ms: u64, loss_pct: f64) -> Self {
+        PathSpec {
+            rate: RateTrace::constant(rate_bps),
+            propagation: SimDuration::from_millis(one_way_ms),
+            loss: if loss_pct > 0.0 {
+                LossModel::bernoulli_percent(loss_pct)
+            } else {
+                LossModel::None
+            },
+            // ~1.5x BDP of a 25 Mbps / 100 ms path by default.
+            queue_bytes: 300_000,
+            jitter: SimDuration::ZERO,
+            discipline: QueueDiscipline::DropTail,
+        }
+    }
+
+    /// Builds the emulated path.
+    pub fn build(&self, id: PathId, seed: u64) -> Path {
+        let fwd = LinkConfig {
+            rate: self.rate.clone(),
+            propagation: self.propagation,
+            queue_capacity_bytes: self.queue_bytes,
+            loss: self.loss.clone(),
+            jitter: self.jitter,
+            discipline: self.discipline.clone(),
+            seed,
+        };
+        Path::symmetric(id, fwd)
+    }
+}
+
+/// A complete scenario: the paths of one experiment.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Per-path specifications; index = path ID.
+    pub paths: Vec<PathSpec>,
+    /// Descriptive name.
+    pub name: String,
+}
+
+impl ScenarioConfig {
+    /// The walking scenario of §6.1: WiFi + "T-Mobile"-like cellular.
+    pub fn walking(duration: SimDuration, seed: u64) -> Self {
+        ScenarioConfig {
+            name: "walking".into(),
+            paths: vec![
+                PathSpec {
+                    rate: trace::synthesize(Scenario::Walking, Carrier::Wifi, duration, seed),
+                    propagation: SimDuration::from_millis(15),
+                    loss: LossModel::bursty_percent(0.2),
+                    queue_bytes: 300_000,
+                    jitter: SimDuration::from_millis(2),
+                    discipline: QueueDiscipline::DropTail,
+                },
+                PathSpec {
+                    rate: trace::synthesize(Scenario::Walking, Carrier::CellularA, duration, seed),
+                    propagation: SimDuration::from_millis(35),
+                    loss: LossModel::bursty_percent(0.4),
+                    queue_bytes: 300_000,
+                    jitter: SimDuration::from_millis(5),
+                    discipline: QueueDiscipline::DropTail,
+                },
+            ],
+        }
+    }
+
+    /// The driving scenario of §6.1: "Verizon" + "T-Mobile" cellular.
+    pub fn driving(duration: SimDuration, seed: u64) -> Self {
+        ScenarioConfig {
+            name: "driving".into(),
+            paths: vec![
+                PathSpec {
+                    rate: trace::synthesize(Scenario::Driving, Carrier::CellularB, duration, seed),
+                    propagation: SimDuration::from_millis(40),
+                    loss: LossModel::bursty_percent(0.7),
+                    queue_bytes: 250_000,
+                    jitter: SimDuration::from_millis(8),
+                    discipline: QueueDiscipline::DropTail,
+                },
+                PathSpec {
+                    rate: trace::synthesize(Scenario::Driving, Carrier::CellularA, duration, seed),
+                    propagation: SimDuration::from_millis(35),
+                    loss: LossModel::bursty_percent(0.7),
+                    queue_bytes: 250_000,
+                    jitter: SimDuration::from_millis(8),
+                    discipline: QueueDiscipline::DropTail,
+                },
+            ],
+        }
+    }
+
+    /// The stationary scenario of Appendix A: WiFi + cellular, both stable.
+    pub fn stationary(duration: SimDuration, seed: u64) -> Self {
+        ScenarioConfig {
+            name: "stationary".into(),
+            paths: vec![
+                PathSpec {
+                    rate: trace::synthesize(Scenario::Stationary, Carrier::Wifi, duration, seed),
+                    propagation: SimDuration::from_millis(10),
+                    loss: LossModel::bursty_percent(0.1),
+                    queue_bytes: 400_000,
+                    jitter: SimDuration::from_millis(1),
+                    discipline: QueueDiscipline::DropTail,
+                },
+                PathSpec {
+                    rate: trace::synthesize(
+                        Scenario::Stationary,
+                        Carrier::CellularA,
+                        duration,
+                        seed,
+                    ),
+                    propagation: SimDuration::from_millis(30),
+                    loss: LossModel::bursty_percent(0.3),
+                    queue_bytes: 300_000,
+                    jitter: SimDuration::from_millis(3),
+                    discipline: QueueDiscipline::DropTail,
+                },
+            ],
+        }
+    }
+
+    /// The feedback-benefit scenario of Fig. 11: path 1 steady at ~25 Mbps,
+    /// path 2 equal at first, collapsing to 0.5–2.5 Mbps between 30 s and
+    /// 90 s, then recovering.
+    pub fn feedback_benefit(duration: SimDuration, seed: u64) -> Self {
+        use rand::{Rng, SeedableRng};
+        let step = SimDuration::from_millis(500);
+        let n = (duration.as_micros() / step.as_micros()) as usize;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let rates: Vec<u64> = (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.5;
+                if (30.0..90.0).contains(&t) {
+                    rng.gen_range(500_000..2_500_000)
+                } else {
+                    25_000_000
+                }
+            })
+            .collect();
+        ScenarioConfig {
+            name: "feedback-benefit".into(),
+            paths: vec![
+                PathSpec {
+                    rate: RateTrace::constant(25_000_000),
+                    propagation: SimDuration::from_millis(25),
+                    loss: LossModel::None,
+                    queue_bytes: 300_000,
+                    jitter: SimDuration::ZERO,
+                    discipline: QueueDiscipline::DropTail,
+                },
+                PathSpec {
+                    rate: RateTrace::new(step, rates),
+                    propagation: SimDuration::from_millis(25),
+                    loss: LossModel::bernoulli_percent(0.5),
+                    queue_bytes: 300_000,
+                    jitter: SimDuration::ZERO,
+                    discipline: QueueDiscipline::DropTail,
+                },
+            ],
+        }
+    }
+
+    /// The FEC trade-off scenario of Figs. 12/13 and Table 5: two 15 Mbps
+    /// paths, 100 ms propagation (50 ms one-way), `loss_pct` percent loss.
+    pub fn fec_tradeoff(loss_pct: f64) -> Self {
+        ScenarioConfig {
+            name: format!("fec-tradeoff-{loss_pct}pct"),
+            paths: vec![
+                PathSpec::constant(15_000_000, 50, loss_pct),
+                PathSpec::constant(15_000_000, 50, loss_pct),
+            ],
+        }
+    }
+
+    /// Builds a scenario replaying externally collected bandwidth traces
+    /// (CSV `seconds,bits_per_sec`, as produced by `trace-tool gen` or any
+    /// capture pipeline). One path per trace, with the given one-way
+    /// propagation delays.
+    pub fn from_traces(
+        traces: &[(&str, SimDuration)],
+    ) -> Result<Self, converge_net::trace::TraceParseError> {
+        let mut paths = Vec::with_capacity(traces.len());
+        for (csv, propagation) in traces {
+            paths.push(PathSpec {
+                rate: RateTrace::from_csv(csv)?,
+                propagation: *propagation,
+                loss: LossModel::None,
+                queue_bytes: 300_000,
+                jitter: SimDuration::ZERO,
+                discipline: QueueDiscipline::DropTail,
+            });
+        }
+        Ok(ScenarioConfig {
+            name: "trace-replay".into(),
+            paths,
+        })
+    }
+
+    /// Builds the emulated paths, seeding each link differently.
+    pub fn build_paths(&self, seed: u64) -> Vec<Path> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| spec.build(PathId(i as u8), seed.wrapping_add(i as u64 * 7919)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use converge_net::SimTime;
+
+    #[test]
+    fn scheduler_kinds_build() {
+        let iv = SimDuration::from_micros(33_333);
+        for kind in [
+            SchedulerKind::Converge,
+            SchedulerKind::ConvergeNoFeedback,
+            SchedulerKind::ConvergeNoPriority,
+            SchedulerKind::ConvergeMinRttFast,
+            SchedulerKind::SinglePath(0),
+            SchedulerKind::ConnectionMigration(1),
+            SchedulerKind::Srtt,
+            SchedulerKind::MTput,
+            SchedulerKind::MRtp,
+        ] {
+            let s = kind.build(iv);
+            assert!(!s.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn fec_kinds_build() {
+        for kind in [FecKind::Converge, FecKind::WebRtcTable, FecKind::None] {
+            let mut f = kind.build();
+            let n = f.repair_count(PathId(0), 100, 0.05, false);
+            match kind {
+                FecKind::None => assert_eq!(n, 0),
+                _ => assert!(n > 0),
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_have_two_paths() {
+        let d = SimDuration::from_secs(30);
+        for cfg in [
+            ScenarioConfig::walking(d, 1),
+            ScenarioConfig::driving(d, 1),
+            ScenarioConfig::stationary(d, 1),
+            ScenarioConfig::feedback_benefit(d, 1),
+            ScenarioConfig::fec_tradeoff(5.0),
+        ] {
+            assert_eq!(cfg.paths.len(), 2, "{}", cfg.name);
+            let paths = cfg.build_paths(9);
+            assert_eq!(paths.len(), 2);
+            assert_eq!(paths[0].id(), PathId(0));
+            assert_eq!(paths[1].id(), PathId(1));
+        }
+    }
+
+    #[test]
+    fn feedback_benefit_trace_shape() {
+        let cfg = ScenarioConfig::feedback_benefit(SimDuration::from_secs(120), 3);
+        let p2 = &cfg.paths[1].rate;
+        // Before 30 s: full rate; during the dip: 0.5–2.5 Mbps.
+        assert_eq!(p2.rate_at(SimTime::from_secs(10)), 25_000_000);
+        let dip = p2.rate_at(SimTime::from_secs(60));
+        assert!((500_000..2_500_000).contains(&dip), "{dip}");
+        assert_eq!(p2.rate_at(SimTime::from_secs(100)), 25_000_000);
+    }
+
+    #[test]
+    fn from_traces_replays_csv() {
+        let csv1 = "0.0,10000000\n0.5,5000000\n1.0,10000000\n";
+        let csv2 = "0.0,8000000\n0.5,8000000\n1.0,2000000\n";
+        let cfg = ScenarioConfig::from_traces(&[
+            (csv1, SimDuration::from_millis(20)),
+            (csv2, SimDuration::from_millis(40)),
+        ])
+        .expect("valid traces");
+        assert_eq!(cfg.paths.len(), 2);
+        assert_eq!(
+            cfg.paths[0]
+                .rate
+                .rate_at(converge_net::SimTime::from_millis(600)),
+            5_000_000
+        );
+        assert!(ScenarioConfig::from_traces(&[("garbage", SimDuration::ZERO)]).is_err());
+    }
+
+    #[test]
+    fn fec_tradeoff_loss_applied() {
+        let cfg = ScenarioConfig::fec_tradeoff(7.0);
+        assert!(matches!(cfg.paths[0].loss, LossModel::Bernoulli { p } if (p - 0.07).abs() < 1e-9));
+        let zero = ScenarioConfig::fec_tradeoff(0.0);
+        assert_eq!(zero.paths[0].loss, LossModel::None);
+    }
+}

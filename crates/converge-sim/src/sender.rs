@@ -1,0 +1,592 @@
+//! The conference sender: camera streams → encoder → packetizer →
+//! scheduler → FEC → paths, plus reaction to every RTCP message.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use converge_core::{classify, FecPolicy, PacketClass, PathMetrics, Schedulable, Scheduler};
+use converge_gcc::{GccConfig, GccController, PacketTiming};
+use converge_net::{PathId, SimDuration, SimTime};
+use converge_rtp::RtcpPacket;
+use converge_signal::{ConnectionMonitor, MonitorConfig, PathState};
+use converge_video::{
+    EncoderConfig, FrameType, Packetizer, PacketizerConfig, StreamId, VideoEncoder, VideoPacket,
+};
+
+use crate::payload::{NetPayload, RtpKind, SimRtp};
+
+/// One camera stream's sending pipeline.
+struct StreamPipeline {
+    encoder: VideoEncoder,
+    packetizer: Packetizer,
+}
+
+/// Result of one frame tick: the packets to transmit and the encoded
+/// frame's QP for metrics.
+pub struct FrameTickResult {
+    /// Packets to transmit, in order.
+    pub packets: Vec<OutboundPacket>,
+    /// QP the encoder used for this frame.
+    pub qp: u8,
+    /// Encoded frame height (resolution-adaptation telemetry).
+    pub height: u32,
+}
+
+/// A packet ready to leave the sender, tagged with class for metrics.
+pub struct OutboundPacket {
+    /// The payload.
+    pub payload: NetPayload,
+    /// Path to send it on.
+    pub path: PathId,
+    /// Class, for counting (media/FEC/rtx/probe).
+    pub class: PacketClass,
+}
+
+/// Sender-side per-path transport bookkeeping.
+#[derive(Debug, Default)]
+struct PathTxState {
+    next_transport_seq: u64,
+    /// transport_seq → (send time, size) for GCC feedback matching.
+    sent: BTreeMap<u64, (SimTime, usize)>,
+    /// Highest transport sequence acknowledged so far, for unwrapping the
+    /// 16-bit sequence numbers feedback carries on the wire.
+    highest_acked: u64,
+}
+
+/// Reconstructs a full 64-bit sequence from its low 16 bits, choosing the
+/// candidate nearest to `reference` (handles the wrap at 65 536 packets,
+/// which a 9 Mbps path crosses after ~2 minutes).
+fn unwrap_seq16(seq16: u16, reference: u64) -> u64 {
+    let base = reference & !0xFFFF;
+    let candidates = [
+        base.wrapping_sub(0x1_0000) | seq16 as u64,
+        base | seq16 as u64,
+        base.wrapping_add(0x1_0000) | seq16 as u64,
+    ];
+    candidates
+        .into_iter()
+        .min_by_key(|c| c.abs_diff(reference))
+        .expect("non-empty")
+}
+
+/// How per-path congestion controllers interact (paper section 4.1: "We
+/// use the uncoupled congestion control approach").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateCoupling {
+    /// Independent controllers, one per path (Converge's choice).
+    Uncoupled,
+    /// LIA-style coupling: each subflow's growth is dampened by its share
+    /// of the aggregate, so the total grows like one flow. Conservative at
+    /// shared bottlenecks, underutilizes independent paths — the trade-off
+    /// the paper avoids by choosing uncoupled.
+    Lia,
+}
+
+/// The conference sender.
+pub struct ConferenceSender {
+    streams: Vec<StreamPipeline>,
+    gcc: BTreeMap<PathId, GccController>,
+    scheduler: Box<dyn Scheduler>,
+    fec: Box<dyn FecPolicy>,
+    tx: BTreeMap<PathId, PathTxState>,
+    /// Recently sent media packets by (stream, sequence) with the path they
+    /// travelled, for retransmission and NACK loss attribution.
+    sent_media: BTreeMap<(StreamId, u64), (VideoPacket, PathId)>,
+    sent_media_order: VecDeque<(StreamId, u64)>,
+    /// Retransmissions waiting for the next batch.
+    rtx_queue: VecDeque<VideoPacket>,
+    /// Next probe sequence.
+    next_probe_seq: u64,
+    /// Outstanding probes: seq → (path, sent time).
+    outstanding_probes: BTreeMap<u64, (PathId, SimTime)>,
+    /// EWMA of FEC bytes / media bytes: protection packets share the
+    /// congestion-controlled budget with media ("protected packets deprive
+    /// the bandwidth of video frames", paper section 3.3), so the encoder
+    /// target is discounted by the running protection overhead.
+    fec_overhead_ewma: f64,
+    /// Transport-level liveness monitor (the paper's CM-synchronization
+    /// wrapper, section 5): a path whose feedback goes silent is marked
+    /// down and excluded from scheduling until it speaks again.
+    monitor: ConnectionMonitor,
+    /// Congestion-controller coupling mode.
+    coupling: RateCoupling,
+}
+
+impl ConferenceSender {
+    /// Creates a sender with `n_streams` cameras over `paths`.
+    pub fn new(
+        n_streams: u8,
+        paths: &[PathId],
+        scheduler: Box<dyn Scheduler>,
+        fec: Box<dyn FecPolicy>,
+        gcc_config: GccConfig,
+        max_encoding_rate_bps: u64,
+    ) -> Self {
+        let streams = (0..n_streams)
+            .map(|i| {
+                let mut cfg = EncoderConfig::paper_default(StreamId(i));
+                cfg.max_bitrate_bps = max_encoding_rate_bps;
+                StreamPipeline {
+                    encoder: VideoEncoder::new(cfg),
+                    packetizer: Packetizer::new(PacketizerConfig::default()),
+                }
+            })
+            .collect();
+        let gcc = paths
+            .iter()
+            .map(|&p| (p, GccController::new(gcc_config)))
+            .collect();
+        let tx = paths.iter().map(|&p| (p, PathTxState::default())).collect();
+        ConferenceSender {
+            streams,
+            gcc,
+            scheduler,
+            fec,
+            tx,
+            sent_media: BTreeMap::new(),
+            sent_media_order: VecDeque::new(),
+            rtx_queue: VecDeque::new(),
+            next_probe_seq: 0,
+            outstanding_probes: BTreeMap::new(),
+            fec_overhead_ewma: 0.0,
+            monitor: ConnectionMonitor::new(MonitorConfig::default(), paths),
+            coupling: RateCoupling::Uncoupled,
+        }
+    }
+
+    /// Switches the congestion-coupling mode (for the design ablation).
+    pub fn set_coupling(&mut self, coupling: RateCoupling) {
+        self.coupling = coupling;
+    }
+
+    /// Number of camera streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The frame interval of stream 0 (all streams share the format).
+    pub fn frame_interval(&self) -> SimDuration {
+        self.streams[0].encoder.frame_interval()
+    }
+
+    /// Advertised frame rate (for the SDES message).
+    pub fn frame_rate(&self) -> u32 {
+        self.streams[0].encoder.config().format.fps
+    }
+
+    /// Current per-path metrics snapshot from GCC; paths the connection
+    /// monitor has declared down are disabled at the transport level.
+    pub fn path_metrics(&self) -> Vec<PathMetrics> {
+        self.gcc
+            .iter()
+            .map(|(&id, ctl)| PathMetrics {
+                id,
+                rate_bps: ctl.target_rate_bps(),
+                srtt: ctl.srtt().unwrap_or(SimDuration::from_millis(100)),
+                loss: ctl.fraction_lost(),
+                enabled: self.monitor.state(id) != Some(PathState::Down),
+            })
+            .collect()
+    }
+
+    /// Connection-monitor state for a path (tests/telemetry).
+    pub fn path_state(&self, path: PathId) -> Option<PathState> {
+        self.monitor.state(path)
+    }
+
+    /// The scheduler in use (for tests).
+    pub fn scheduler(&self) -> &dyn Scheduler {
+        self.scheduler.as_ref()
+    }
+
+    /// Captures and sends one frame on stream `stream_idx` at `now`.
+    pub fn on_frame_tick(&mut self, now: SimTime, stream_idx: usize) -> FrameTickResult {
+        // Disabled paths carry no media, so their GCC estimates decay: a
+        // re-enabled path then re-enters with a conservative share and
+        // ramps with real feedback instead of bursting at a stale rate.
+        for path in self.scheduler.disabled_paths() {
+            if let Some(ctl) = self.gcc.get_mut(&path) {
+                ctl.cap_estimate(500_000.0);
+            }
+        }
+        // Coupled mode: dampen each controller's growth by its share of
+        // the aggregate estimate, so the sum increases like a single flow.
+        if self.coupling == RateCoupling::Lia {
+            let total: f64 = self.gcc.values().map(|c| c.delay_estimate_bps()).sum();
+            if total > 0.0 {
+                for ctl in self.gcc.values_mut() {
+                    let share = ctl.delay_estimate_bps() / total;
+                    ctl.set_increase_scale(share);
+                }
+            }
+        }
+        // Advance the liveness timers; a path that went silent also loses
+        // its stale rate estimate so recovery starts conservatively.
+        for ev in self.monitor.poll(now) {
+            if ev.state == PathState::Down {
+                if let Some(ctl) = self.gcc.get_mut(&ev.path) {
+                    ctl.cap_estimate(500_000.0);
+                }
+            }
+        }
+        let metrics = self.path_metrics();
+        // Encoder rate: min(aggregate over used paths, app cap), divided
+        // across streams.
+        let used = self.scheduler.used_paths(&metrics);
+        let aggregate: u64 = metrics
+            .iter()
+            .filter(|m| used.contains(&m.id))
+            .map(|m| m.rate_bps)
+            .sum();
+        let n_streams = self.streams.len().max(1) as u64;
+        // FEC and media share the budget: discount the encoder target by
+        // the measured protection overhead so aggressive FEC policies pay
+        // for their repair packets with media quality (paper Fig. 6/13).
+        let media_fraction = 1.0 / (1.0 + self.fec_overhead_ewma.max(0.0));
+        let per_stream = (aggregate as f64 * media_fraction) as u64 / n_streams;
+
+        let pipeline = &mut self.streams[stream_idx];
+        pipeline.encoder.set_target_bitrate(per_stream);
+        let frame = pipeline.encoder.encode(now);
+        let qp = frame.qp;
+        let height = frame.height;
+        let mut packets = pipeline.packetizer.packetize(&frame);
+
+        // Prepend pending retransmissions (highest priority, Table 2).
+        let mut batch: Vec<Schedulable> = Vec::with_capacity(packets.len() + 4);
+        while let Some(rtx) = self.rtx_queue.pop_front() {
+            batch.push(Schedulable {
+                packet: rtx,
+                class: PacketClass::Retransmission,
+            });
+            if batch.len() >= 16 {
+                break; // bound rtx burst per frame
+            }
+        }
+        for p in packets.drain(..) {
+            batch.push(Schedulable {
+                packet: p,
+                class: classify(&p),
+            });
+        }
+
+        // CM blackout: the connection is re-establishing; everything in
+        // this batch is lost at the application layer.
+        if self.scheduler.drop_batch(now) {
+            return FrameTickResult {
+                packets: Vec::new(),
+                qp,
+                height,
+            };
+        }
+
+        let assignments = self.scheduler.assign_batch(now, &batch, &metrics);
+        debug_assert_eq!(assignments.len(), batch.len());
+
+        let mut out: Vec<OutboundPacket> = Vec::with_capacity(batch.len() + 8);
+        // Per-path media groups for FEC generation.
+        let mut media_by_path: BTreeMap<PathId, Vec<VideoPacket>> = BTreeMap::new();
+        let mut keyframe_by_path: BTreeMap<PathId, bool> = BTreeMap::new();
+
+        for (sched, assign) in batch.iter().zip(&assignments) {
+            let path = assign.path;
+            let kind = match sched.class {
+                PacketClass::Retransmission => RtpKind::Retransmission(sched.packet),
+                _ => RtpKind::Media(sched.packet),
+            };
+            if sched.class != PacketClass::Retransmission {
+                self.remember_media(&sched.packet, path);
+            }
+            if sched.packet.kind.is_media() {
+                media_by_path.entry(path).or_default().push(sched.packet);
+                if sched.packet.frame_type == FrameType::Key {
+                    keyframe_by_path.insert(path, true);
+                }
+            }
+            out.push(self.make_rtp(now, path, kind, sched.class));
+        }
+
+        // FEC per destination path (path-specific protection, §4.3).
+        let mut fec_batch: Vec<(Schedulable, Vec<VideoPacket>, PathId)> = Vec::new();
+        for (&path, media) in &media_by_path {
+            let loss = metrics
+                .iter()
+                .find(|m| m.id == path)
+                .map(|m| m.loss)
+                .unwrap_or(0.0);
+            let is_key = keyframe_by_path.get(&path).copied().unwrap_or(false);
+            let n_fec = self.fec.repair_count(path, media.len(), loss, is_key);
+            self.fec.on_batch_sent(path, media.len(), n_fec);
+            if n_fec == 0 {
+                continue;
+            }
+            // Split this path's media into n_fec contiguous groups.
+            let base = media.len() / n_fec;
+            let extra = media.len() % n_fec;
+            let mut idx = 0;
+            for g in 0..n_fec {
+                let size = base + usize::from(g < extra);
+                if size == 0 {
+                    continue;
+                }
+                let protected: Vec<VideoPacket> = media[idx..idx + size].to_vec();
+                idx += size;
+                // FEC packets are scheduled too (priority level 5).
+                let rep = protected
+                    .iter()
+                    .max_by_key(|p| p.size)
+                    .expect("non-empty group");
+                let fec_meta = VideoPacket {
+                    kind: converge_video::PacketKind::Media { index: 0, count: 1 },
+                    size: rep.size + 16,
+                    ..*rep
+                };
+                fec_batch.push((
+                    Schedulable {
+                        packet: fec_meta,
+                        class: PacketClass::Fec,
+                    },
+                    protected,
+                    path,
+                ));
+            }
+        }
+        // Update the protection-overhead EWMA from this batch.
+        {
+            let media_bytes: usize = batch
+                .iter()
+                .filter(|s| s.packet.kind.is_media())
+                .map(|s| s.packet.size)
+                .sum();
+            let fec_bytes: usize = fec_batch.iter().map(|(s, _, _)| s.packet.size).sum();
+            if media_bytes > 0 {
+                let overhead = fec_bytes as f64 / media_bytes as f64;
+                self.fec_overhead_ewma = 0.9 * self.fec_overhead_ewma + 0.1 * overhead;
+            }
+        }
+        if !fec_batch.is_empty() {
+            let fec_sched: Vec<Schedulable> = fec_batch.iter().map(|(s, _, _)| *s).collect();
+            let fec_assign = self.scheduler.assign_batch(now, &fec_sched, &metrics);
+            for ((sched, protected, origin), assign) in fec_batch.into_iter().zip(fec_assign) {
+                let stream = sched.packet.stream;
+                out.push(self.make_rtp(
+                    now,
+                    assign.path,
+                    RtpKind::Fec {
+                        stream,
+                        protected,
+                        origin_path: origin,
+                    },
+                    PacketClass::Fec,
+                ));
+            }
+        }
+
+        // Probes for disabled paths.
+        for path in self.scheduler.probe_paths(now, &metrics) {
+            let probe_seq = self.next_probe_seq;
+            self.next_probe_seq += 1;
+            self.outstanding_probes.insert(probe_seq, (path, now));
+            out.push(self.make_rtp(now, path, RtpKind::Probe { probe_seq }, PacketClass::Probe));
+        }
+
+        FrameTickResult {
+            packets: out,
+            qp,
+            height,
+        }
+    }
+
+    fn make_rtp(
+        &mut self,
+        now: SimTime,
+        path: PathId,
+        kind: RtpKind,
+        class: PacketClass,
+    ) -> OutboundPacket {
+        let tx = self.tx.entry(path).or_default();
+        let transport_seq = tx.next_transport_seq;
+        tx.next_transport_seq += 1;
+        let size = kind.wire_size();
+        tx.sent.insert(transport_seq, (now, size));
+        // Bound memory.
+        while tx.sent.len() > 10_000 {
+            let oldest = *tx.sent.keys().next().expect("non-empty");
+            tx.sent.remove(&oldest);
+        }
+        OutboundPacket {
+            payload: NetPayload::Rtp(SimRtp {
+                kind,
+                path,
+                transport_seq,
+                sent_at: now,
+            }),
+            path,
+            class,
+        }
+    }
+
+    fn remember_media(&mut self, p: &VideoPacket, path: PathId) {
+        let key = (p.stream, p.sequence);
+        if self.sent_media.insert(key, (*p, path)).is_none() {
+            self.sent_media_order.push_back(key);
+        }
+        while self.sent_media_order.len() > 20_000 {
+            if let Some(old) = self.sent_media_order.pop_front() {
+                self.sent_media.remove(&old);
+            }
+        }
+    }
+
+    /// Handles an incoming RTCP packet at `now`; may queue retransmissions
+    /// or adjust state. Returns the number of newly queued retransmissions.
+    pub fn on_rtcp(&mut self, now: SimTime, rtcp: &RtcpPacket) -> usize {
+        // Any feedback on a path proves it alive in both directions.
+        self.monitor.on_activity(now, PathId(rtcp.path_id()));
+        match rtcp {
+            RtcpPacket::ReceiverReport(rr) => {
+                let path = PathId(rr.path_id);
+                let protection = self.fec_overhead_ewma;
+                if let Some(ctl) = self.gcc.get_mut(&path) {
+                    for blk in &rr.blocks {
+                        ctl.on_loss_report_protected(blk.fraction_lost as f64 / 256.0, protection);
+                        // RTT from last_sr/dlsr, both in simulation micros
+                        // truncated: lsr holds sr send time (low 32 bits of
+                        // ms), dlsr holds hold time in ms.
+                        if blk.last_sr != 0 {
+                            let sr_ms = blk.last_sr as u64;
+                            let hold_ms = blk.delay_since_last_sr as u64;
+                            let now_ms = now.as_millis() & 0xFFFF_FFFF;
+                            if now_ms >= sr_ms + hold_ms {
+                                let rtt = SimDuration::from_millis(now_ms - sr_ms - hold_ms);
+                                ctl.on_rtt_sample(rtt);
+                            }
+                        }
+                    }
+                }
+                0
+            }
+            RtcpPacket::TransportFeedback(tf) => {
+                let path = PathId(tf.path_id);
+                let timings: Vec<PacketTiming> = {
+                    let Some(tx) = self.tx.get_mut(&path) else {
+                        return 0;
+                    };
+                    tf.arrivals
+                        .iter()
+                        .filter_map(|&(seq, arrival_us)| {
+                            let full = unwrap_seq16(seq, tx.highest_acked);
+                            tx.highest_acked = tx.highest_acked.max(full);
+                            tx.sent.remove(&full).map(|(send_time, size)| PacketTiming {
+                                send_time,
+                                arrival_time: SimTime::from_micros(arrival_us),
+                                size,
+                            })
+                        })
+                        .collect()
+                };
+                if let Some(ctl) = self.gcc.get_mut(&path) {
+                    if !timings.is_empty() {
+                        ctl.on_transport_feedback(now, &timings);
+                    }
+                }
+                0
+            }
+            RtcpPacket::Nack(nack) => {
+                let stream = StreamId((nack.ssrc & 0xFF) as u8);
+                let mut queued = 0;
+                let mut per_path: BTreeMap<PathId, usize> = BTreeMap::new();
+                for &seq in &nack.lost {
+                    // NACK wire carries u16; our media sequences are u64 —
+                    // the session uses low 16 bits of the true sequence, so
+                    // search recent media for a matching suffix.
+                    if let Some((p, sent_path)) = self.lookup_media(stream, seq) {
+                        self.rtx_queue.push_back(p);
+                        queued += 1;
+                        // Attribute the loss to the path the packet was
+                        // actually sent on (drives β of the FEC policy).
+                        *per_path.entry(sent_path).or_insert(0) += 1;
+                    }
+                }
+                for (path, n) in per_path {
+                    self.fec.on_nack(path, n);
+                }
+                queued
+            }
+            RtcpPacket::Pli(pli) => {
+                let stream = (pli.ssrc & 0xFF) as usize;
+                if let Some(s) = self.streams.get_mut(stream) {
+                    s.encoder.request_keyframe();
+                }
+                0
+            }
+            RtcpPacket::QoeFeedback(fb) => {
+                self.scheduler.on_qoe_feedback(now, fb);
+                0
+            }
+            RtcpPacket::SenderReport(_) | RtcpPacket::Sdes(_) => 0,
+        }
+    }
+
+    /// Handles a probe echo: measures the disabled path's RTT and attempts
+    /// Eq. 3 re-enablement via the scheduler.
+    pub fn on_probe_echo(&mut self, now: SimTime, probe_seq: u64) {
+        let Some((path, sent_at)) = self.outstanding_probes.remove(&probe_seq) else {
+            return;
+        };
+        let rtt = now.saturating_since(sent_at);
+        self.monitor.on_activity(now, path);
+        if let Some(ctl) = self.gcc.get_mut(&path) {
+            ctl.on_rtt_sample(rtt);
+        }
+        // Fast path = lowest-srtt enabled path.
+        let metrics = self.path_metrics();
+        let rtt_fast = metrics
+            .iter()
+            .filter(|m| m.id != path)
+            .map(|m| m.srtt)
+            .min()
+            .unwrap_or(SimDuration::from_millis(100));
+        self.scheduler.on_probe_rtt(path, rtt_fast, rtt);
+    }
+
+    fn lookup_media(&self, stream: StreamId, seq16: u16) -> Option<(VideoPacket, PathId)> {
+        // Scan newest-first for the matching low 16 bits.
+        self.sent_media_order
+            .iter()
+            .rev()
+            .filter(|(s, _)| *s == stream)
+            .find(|(_, seq)| (*seq & 0xFFFF) as u16 == seq16)
+            .and_then(|key| self.sent_media.get(key))
+            .copied()
+    }
+
+    /// Builds the sender's periodic RTCP (SR per path + SDES with frame
+    /// rate), one tuple per path.
+    pub fn periodic_rtcp(&self, now: SimTime) -> Vec<(PathId, RtcpPacket)> {
+        let mut out = Vec::new();
+        for &path in self.gcc.keys() {
+            out.push((
+                path,
+                RtcpPacket::SenderReport(converge_rtp::SenderReport {
+                    path_id: path.0,
+                    ssrc: 0,
+                    ntp_micros: now.as_micros(),
+                    rtp_timestamp: (now.as_micros() / 11) as u32, // 90 kHz
+                    packet_count: 0,
+                    octet_count: 0,
+                }),
+            ));
+        }
+        if let Some((&first, _)) = self.gcc.iter().next() {
+            out.push((
+                first,
+                RtcpPacket::Sdes(converge_rtp::Sdes {
+                    ssrc: 0,
+                    cname: "converge-sender".into(),
+                    frame_rate: Some(self.frame_rate() as u8),
+                }),
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,384 @@
+//! The conference session: wires a [`ConferenceSender`] and a
+//! [`ConferenceReceiver`] over the deterministic multipath emulator and
+//! runs the whole call as a discrete-event loop.
+
+use std::collections::BTreeMap;
+
+use converge_core::PacketClass;
+use converge_gcc::GccConfig;
+use converge_net::{event::EventQueue, Direction, NetworkEmulator, PathId, SimDuration, SimTime};
+use converge_rtp::RtcpPacket;
+
+use crate::metrics::{CallReport, MetricsCollector};
+use crate::pacer::{Pacer, PacerConfig};
+use crate::payload::{NetPayload, RtpKind};
+use crate::receiver::{ConferenceReceiver, ReceiverEvent};
+use crate::scenarios::{FecKind, ScenarioConfig, SchedulerKind};
+use crate::sender::ConferenceSender;
+
+/// Configuration of one simulated call.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Network scenario.
+    pub scenario: ScenarioConfig,
+    /// Scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// FEC policy under test.
+    pub fec: FecKind,
+    /// Number of camera streams (1–3 in the paper).
+    pub streams: u8,
+    /// Call duration (the paper uses 3-minute calls).
+    pub duration: SimDuration,
+    /// Maximum encoding rate per stream (10 Mbps in the paper).
+    pub max_encoding_rate_bps: u64,
+    /// Fast RTCP interval at the receiver (QoE feedback, NACK, PLI).
+    pub rtcp_interval: SimDuration,
+    /// Transport feedback / receiver report interval (drives GCC). The
+    /// paper's GCC is paced by RTCP reports, slower than the QoE loop.
+    pub transport_rtcp_interval: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+    /// Congestion-controller coupling (uncoupled = the paper's choice).
+    pub coupled_cc: bool,
+}
+
+impl SessionConfig {
+    /// The paper's standard setup over the given scenario/scheduler/FEC.
+    pub fn paper_default(
+        scenario: ScenarioConfig,
+        scheduler: SchedulerKind,
+        fec: FecKind,
+        streams: u8,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Self {
+        SessionConfig {
+            scenario,
+            scheduler,
+            fec,
+            streams,
+            duration,
+            max_encoding_rate_bps: 10_000_000,
+            rtcp_interval: SimDuration::from_millis(100),
+            transport_rtcp_interval: SimDuration::from_millis(250),
+            seed,
+            coupled_cc: false,
+        }
+    }
+}
+
+/// Internal timer events of the session loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tick {
+    /// Capture+send a frame for one stream.
+    Frame(usize),
+    /// Receiver fast feedback round (QoE, NACK, PLI).
+    ReceiverRtcp,
+    /// Receiver transport feedback / RR round (drives GCC).
+    TransportRtcp,
+    /// Sender SR/SDES round.
+    SenderRtcp,
+}
+
+/// A runnable conference session.
+pub struct Session {
+    config: SessionConfig,
+}
+
+impl Session {
+    /// Creates a session.
+    pub fn new(config: SessionConfig) -> Self {
+        Session { config }
+    }
+
+    /// Runs the call to completion and returns the report.
+    pub fn run(self) -> CallReport {
+        let cfg = self.config;
+        let paths = cfg.scenario.build_paths(cfg.seed);
+        let path_ids: Vec<PathId> = paths.iter().map(|p| p.id()).collect();
+        let mut emu: NetworkEmulator<NetPayload> = NetworkEmulator::new(paths);
+
+        let format = converge_video::VideoFormat::HD720;
+        let mut metrics =
+            MetricsCollector::new(cfg.duration, format, cfg.max_encoding_rate_bps, cfg.streams);
+
+        let frame_interval = SimDuration::from_micros(1_000_000 / format.fps as u64);
+        let mut sender = ConferenceSender::new(
+            cfg.streams,
+            &path_ids,
+            cfg.scheduler.build(frame_interval),
+            cfg.fec.build(),
+            GccConfig::default(),
+            cfg.max_encoding_rate_bps,
+        );
+        if cfg.coupled_cc {
+            sender.set_coupling(crate::sender::RateCoupling::Lia);
+        }
+        let mut receiver = ConferenceReceiver::new(cfg.streams, &path_ids, format.fps, path_ids[0]);
+        let mut pacer = Pacer::new(PacerConfig::default());
+
+        // SR bookkeeping at the receiver for RTT echo: path → (SR send ms,
+        // SR arrival).
+        let mut sr_seen: BTreeMap<PathId, (u64, SimTime)> = BTreeMap::new();
+
+        let mut timers: EventQueue<Tick> = EventQueue::new();
+        for s in 0..cfg.streams as usize {
+            // Stagger streams slightly so their frames don't collide.
+            timers.schedule(SimTime::from_micros(s as u64 * 3_000), Tick::Frame(s));
+        }
+        timers.schedule(SimTime::from_millis(50), Tick::ReceiverRtcp);
+        timers.schedule(SimTime::from_millis(60), Tick::TransportRtcp);
+        timers.schedule(SimTime::from_millis(40), Tick::SenderRtcp);
+
+        let end = SimTime::ZERO + cfg.duration;
+
+        loop {
+            // Next event: earliest of timers, network deliveries, and the
+            // pacer's next release.
+            let candidates = [timers.peek_time(), emu.next_arrival(), pacer.next_release()];
+            let now = match candidates.into_iter().flatten().min() {
+                Some(t) => t,
+                None => break,
+            };
+            if now >= end {
+                break;
+            }
+
+            // Paced transmissions due now.
+            for out in pacer.poll(now) {
+                let size = out.payload.wire_size();
+                let is_fec = out.class == PacketClass::Fec;
+                let is_media = matches!(
+                    &out.payload,
+                    NetPayload::Rtp(r) if r.kind.video_packet().is_some()
+                );
+                metrics.on_packet_sent(now, out.path, size, is_fec, is_media);
+                if out.class == PacketClass::Retransmission {
+                    metrics.on_retransmission();
+                }
+                let (outcome, _) = emu.send(out.path, Direction::Forward, now, size, out.payload);
+                if outcome.is_lost() {
+                    metrics.on_packet_lost(out.path);
+                }
+            }
+
+            // Network deliveries due now.
+            for delivery in emu.poll(now) {
+                match (delivery.direction, delivery.payload) {
+                    (Direction::Forward, NetPayload::Rtp(rtp)) => {
+                        // Probe packets are echoed straight back.
+                        if let RtpKind::Probe { probe_seq } = rtp.kind {
+                            let echo = NetPayload::ProbeEcho {
+                                probe_seq,
+                                probe_sent_at: rtp.sent_at,
+                            };
+                            let size = echo.wire_size();
+                            emu.send(delivery.path, Direction::Reverse, now, size, echo);
+                        }
+                        let media_payload = match &rtp.kind {
+                            RtpKind::Media(p) if p.kind.is_media() => p.size,
+                            RtpKind::Retransmission(p) if p.kind.is_media() => p.size,
+                            _ => 0,
+                        };
+                        metrics.on_packet_received(now, delivery.path, media_payload);
+                        for ev in receiver.on_rtp(now, &rtp) {
+                            Self::record_receiver_event(&mut metrics, now, ev);
+                        }
+                    }
+                    (Direction::Forward, NetPayload::Rtcp(rtcp)) => {
+                        // Sender → receiver control.
+                        match &rtcp {
+                            RtcpPacket::SenderReport(sr) => {
+                                sr_seen.insert(PathId(sr.path_id), (sr.ntp_micros / 1_000, now));
+                            }
+                            RtcpPacket::Sdes(sdes) => {
+                                if let Some(fr) = sdes.frame_rate {
+                                    receiver.on_sdes_frame_rate(fr as u32);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    (Direction::Reverse, NetPayload::Rtcp(rtcp)) => {
+                        // Receiver → sender feedback.
+                        if matches!(rtcp, RtcpPacket::Nack(_)) {
+                            if let RtcpPacket::Nack(ref n) = rtcp {
+                                metrics.on_nack_sent(n.lost.len());
+                            }
+                        }
+                        if matches!(rtcp, RtcpPacket::Pli(_)) {
+                            metrics.on_keyframe_request();
+                        }
+                        sender.on_rtcp(now, &rtcp);
+                    }
+                    (Direction::Reverse, NetPayload::ProbeEcho { probe_seq, .. }) => {
+                        sender.on_probe_echo(now, probe_seq);
+                    }
+                    // Unused combinations.
+                    (Direction::Forward, NetPayload::ProbeEcho { .. })
+                    | (Direction::Reverse, NetPayload::Rtp(_)) => {}
+                }
+            }
+
+            // Timer events due now.
+            while let Some((_, tick)) = timers.pop_due(now) {
+                match tick {
+                    Tick::Frame(stream_idx) => {
+                        let result = sender.on_frame_tick(now, stream_idx);
+                        metrics.on_frame_encoded(now, result.qp, result.height);
+                        // Keep the pacer's budgets in sync with GCC.
+                        for m in sender.path_metrics() {
+                            pacer.set_rate(m.id, m.rate_bps as f64);
+                        }
+                        pacer.enqueue(now, result.packets);
+                        timers.schedule(now + frame_interval, Tick::Frame(stream_idx));
+                    }
+                    Tick::ReceiverRtcp => {
+                        for (path, rtcp) in receiver.poll_rtcp_with(now, &sr_seen, false) {
+                            let payload = NetPayload::Rtcp(rtcp);
+                            let size = payload.wire_size();
+                            emu.send(path, Direction::Reverse, now, size, payload);
+                        }
+                        timers.schedule(now + cfg.rtcp_interval, Tick::ReceiverRtcp);
+                    }
+                    Tick::TransportRtcp => {
+                        for (path, rtcp) in receiver.poll_rtcp_with(now, &sr_seen, true) {
+                            let payload = NetPayload::Rtcp(rtcp);
+                            let size = payload.wire_size();
+                            emu.send(path, Direction::Reverse, now, size, payload);
+                        }
+                        timers.schedule(now + cfg.transport_rtcp_interval, Tick::TransportRtcp);
+                    }
+                    Tick::SenderRtcp => {
+                        for (path, rtcp) in sender.periodic_rtcp(now) {
+                            let payload = NetPayload::Rtcp(rtcp);
+                            let size = payload.wire_size();
+                            emu.send(path, Direction::Forward, now, size, payload);
+                        }
+                        timers.schedule(now + SimDuration::from_millis(500), Tick::SenderRtcp);
+                    }
+                }
+            }
+        }
+
+        // Frames the encoder produced but the receiver never displayed are
+        // drops too; fold the difference in (avoids double counting the
+        // explicit drop events, which we track separately as buffer drops).
+        metrics.finish()
+    }
+
+    fn record_receiver_event(metrics: &mut MetricsCollector, now: SimTime, ev: ReceiverEvent) {
+        match ev {
+            ReceiverEvent::FrameDecoded { stream, at, e2e } => {
+                metrics.on_frame_decoded(stream, at, e2e);
+            }
+            ReceiverEvent::FrameDropped { .. } => metrics.on_frame_dropped(now),
+            ReceiverEvent::Ifd { at, ifd } => metrics.on_ifd(at, ifd),
+            ReceiverEvent::Fcd { at, fcd } => metrics.on_fcd(at, fcd),
+            ReceiverEvent::FecRecovered => metrics.on_fec_used(),
+            ReceiverEvent::FecReceived => metrics.on_fec_received(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(scheduler: SchedulerKind, fec: FecKind) -> SessionConfig {
+        SessionConfig::paper_default(
+            ScenarioConfig::fec_tradeoff(0.0),
+            scheduler,
+            fec,
+            1,
+            SimDuration::from_secs(20),
+            42,
+        )
+    }
+
+    #[test]
+    fn clean_network_call_delivers_frames() {
+        let report = Session::new(quick_config(SchedulerKind::Converge, FecKind::Converge)).run();
+        // On two clean 15 Mbps paths a 20 s call should decode nearly all
+        // frames at ~30 FPS.
+        assert!(report.fps > 20.0, "fps {}", report.fps);
+        assert!(report.frames_decoded > 400, "{}", report.frames_decoded);
+        assert!(report.throughput_bps > 1_000_000.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Session::new(quick_config(SchedulerKind::Converge, FecKind::Converge)).run();
+        let b = Session::new(quick_config(SchedulerKind::Converge, FecKind::Converge)).run();
+        assert_eq!(a.frames_decoded, b.frames_decoded);
+        assert_eq!(a.throughput_bps, b.throughput_bps);
+        assert_eq!(a.fec_packets_sent, b.fec_packets_sent);
+    }
+
+    #[test]
+    fn single_path_uses_one_path() {
+        let report = Session::new(quick_config(
+            SchedulerKind::SinglePath(0),
+            FecKind::WebRtcTable,
+        ))
+        .run();
+        let p1 = report.paths.get(&PathId(1)).copied().unwrap_or_default();
+        assert_eq!(p1.packets_sent, 0, "single-path must not touch path 1");
+        assert!(report.fps > 15.0, "fps {}", report.fps);
+    }
+
+    #[test]
+    fn lossy_network_generates_fec_and_nacks() {
+        let cfg = SessionConfig::paper_default(
+            ScenarioConfig::fec_tradeoff(5.0),
+            SchedulerKind::Converge,
+            FecKind::Converge,
+            1,
+            SimDuration::from_secs(20),
+            7,
+        );
+        let report = Session::new(cfg).run();
+        assert!(report.fec_packets_sent > 0);
+        assert!(report.nacks_sent > 0);
+        assert!(report.fec_packets_used > 0, "some FEC should be used");
+    }
+
+    #[test]
+    fn webrtc_table_fec_has_higher_overhead_than_converge() {
+        let run = |fec| {
+            Session::new(SessionConfig::paper_default(
+                ScenarioConfig::fec_tradeoff(2.0),
+                SchedulerKind::Converge,
+                fec,
+                1,
+                SimDuration::from_secs(20),
+                11,
+            ))
+            .run()
+        };
+        let conv = run(FecKind::Converge);
+        let table = run(FecKind::WebRtcTable);
+        assert!(
+            table.fec_overhead_pct() > conv.fec_overhead_pct() * 2.0,
+            "table {} vs converge {}",
+            table.fec_overhead_pct(),
+            conv.fec_overhead_pct()
+        );
+    }
+
+    #[test]
+    fn three_streams_share_the_paths() {
+        let cfg = SessionConfig::paper_default(
+            ScenarioConfig::fec_tradeoff(0.0),
+            SchedulerKind::Converge,
+            FecKind::Converge,
+            3,
+            SimDuration::from_secs(15),
+            3,
+        );
+        let report = Session::new(cfg).run();
+        assert_eq!(report.streams, 3);
+        // All three streams decode something.
+        assert!(report.frames_decoded > 300, "{}", report.frames_decoded);
+    }
+}

@@ -1,0 +1,450 @@
+//! The receiver's packet buffer (§2.1).
+//!
+//! Accumulates RTP packets per frame until a frame is complete, then hands
+//! the frame to the frame buffer. It has a bounded size; when full it makes
+//! room by evicting packets of the oldest incomplete frame ("the packet
+//! buffer may discard packets from that frame to make room for newly
+//! arriving packets"). The time from a frame's first packet arrival until
+//! its last is the Frame Construction Delay (FCD).
+
+use std::collections::BTreeMap;
+
+use converge_net::SimTime;
+
+use crate::types::{CompleteFrame, FrameType, PacketKind, StreamId, VideoPacket};
+
+/// Events the packet buffer reports to its owner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketBufferEvent {
+    /// A frame finished gathering all of its packets.
+    FrameComplete(CompleteFrame),
+    /// A frame's partial packets were evicted to make room; the frame can
+    /// never complete (unless retransmissions rebuild it from scratch).
+    FrameEvicted {
+        /// Which frame lost its packets.
+        frame_id: u64,
+        /// How many gathered packets were discarded.
+        packets_dropped: usize,
+    },
+    /// A packet arrived for a frame that was already completed or evicted —
+    /// it arrived too late to matter.
+    StalePacket {
+        /// The late packet's frame.
+        frame_id: u64,
+    },
+    /// A duplicate of an already-buffered packet arrived.
+    Duplicate {
+        /// Sequence number of the duplicate.
+        sequence: u64,
+    },
+}
+
+/// Assembly state of one frame.
+#[derive(Debug)]
+struct Assembly {
+    stream: StreamId,
+    gop_id: u64,
+    frame_type: FrameType,
+    capture_time: SimTime,
+    first_arrival: SimTime,
+    /// Media packet indices received, with sizes.
+    media: BTreeMap<u16, usize>,
+    /// Total media packets expected, learnt from any media packet.
+    expected_media: Option<u16>,
+    has_pps: bool,
+    /// Sequence numbers held (for duplicate detection).
+    sequences: Vec<u64>,
+}
+
+impl Assembly {
+    fn packet_count(&self) -> usize {
+        self.sequences.len()
+    }
+
+    fn is_complete(&self) -> bool {
+        if !self.has_pps {
+            return false;
+        }
+        match self.expected_media {
+            Some(n) => self.media.len() == n as usize,
+            None => false,
+        }
+    }
+
+    fn media_bytes(&self) -> usize {
+        self.media.values().sum()
+    }
+}
+
+/// Bounded per-frame packet reassembly buffer for one stream.
+#[derive(Debug)]
+pub struct PacketBuffer {
+    /// Maximum packets held across all frames under assembly.
+    capacity_packets: usize,
+    frames: BTreeMap<u64, Assembly>,
+    total_packets: usize,
+    /// Frames already completed or evicted; late packets for them are stale.
+    /// We track the highest such frame id per category (frames complete in
+    /// order of eviction/completion, not necessarily frame order, so keep a
+    /// small recent-set).
+    finished: std::collections::BTreeSet<u64>,
+    /// Cap on the `finished` memory.
+    finished_cap: usize,
+}
+
+impl PacketBuffer {
+    /// Creates a buffer holding at most `capacity_packets` packets.
+    pub fn new(capacity_packets: usize) -> Self {
+        PacketBuffer {
+            capacity_packets: capacity_packets.max(1),
+            frames: BTreeMap::new(),
+            total_packets: 0,
+            finished: std::collections::BTreeSet::new(),
+            finished_cap: 1024,
+        }
+    }
+
+    /// Packets currently buffered.
+    pub fn len(&self) -> usize {
+        self.total_packets
+    }
+
+    /// Whether no packets are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.total_packets == 0
+    }
+
+    /// Frames currently under assembly.
+    pub fn frames_pending(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether `frame_id` has already completed or been evicted.
+    pub fn is_finished(&self, frame_id: u64) -> bool {
+        self.finished.contains(&frame_id)
+    }
+
+    /// Drops all partial packets of `frame_id` (used by the frame buffer
+    /// when it gives up on a frame: "the frame buffer can also drop packets
+    /// in the packet buffer if they belong to missing and purged frames").
+    pub fn purge_frame(&mut self, frame_id: u64) -> Option<PacketBufferEvent> {
+        let assembly = self.frames.remove(&frame_id)?;
+        self.total_packets -= assembly.packet_count();
+        self.remember_finished(frame_id);
+        Some(PacketBufferEvent::FrameEvicted {
+            frame_id,
+            packets_dropped: assembly.packet_count(),
+        })
+    }
+
+    /// Inserts one arriving packet; returns the events it produced.
+    ///
+    /// SPS packets are GOP-scoped, not frame-scoped; the caller should route
+    /// them to its GOP ledger instead — passing one here is ignored with no
+    /// event.
+    pub fn insert(&mut self, now: SimTime, packet: &VideoPacket) -> Vec<PacketBufferEvent> {
+        if packet.kind == PacketKind::Sps {
+            return Vec::new();
+        }
+        let mut events = Vec::new();
+        if self.finished.contains(&packet.frame_id) {
+            return vec![PacketBufferEvent::StalePacket {
+                frame_id: packet.frame_id,
+            }];
+        }
+
+        let assembly = self
+            .frames
+            .entry(packet.frame_id)
+            .or_insert_with(|| Assembly {
+                stream: packet.stream,
+                gop_id: packet.gop_id,
+                frame_type: packet.frame_type,
+                capture_time: packet.capture_time,
+                first_arrival: now,
+                media: BTreeMap::new(),
+                expected_media: None,
+                has_pps: false,
+                sequences: Vec::new(),
+            });
+
+        if assembly.sequences.contains(&packet.sequence) {
+            return vec![PacketBufferEvent::Duplicate {
+                sequence: packet.sequence,
+            }];
+        }
+
+        match packet.kind {
+            PacketKind::Media { index, count } => {
+                assembly.expected_media = Some(count);
+                assembly.media.insert(index, packet.size);
+            }
+            PacketKind::Pps => assembly.has_pps = true,
+            PacketKind::Sps => unreachable!("SPS filtered above"),
+        }
+        assembly.sequences.push(packet.sequence);
+        self.total_packets += 1;
+
+        let frame_id = packet.frame_id;
+        if self.frames[&frame_id].is_complete() {
+            let a = self.frames.remove(&frame_id).expect("assembly exists");
+            self.total_packets -= a.packet_count();
+            self.remember_finished(frame_id);
+            events.push(PacketBufferEvent::FrameComplete(CompleteFrame {
+                stream: a.stream,
+                frame_id,
+                gop_id: a.gop_id,
+                frame_type: a.frame_type,
+                size: a.media_bytes(),
+                capture_time: a.capture_time,
+                first_arrival: a.first_arrival,
+                completed_at: now,
+            }));
+        }
+
+        // Evict oldest incomplete frames while over capacity, never the
+        // frame that just received a packet unless it is the only one.
+        while self.total_packets > self.capacity_packets {
+            let victim = match self.frames.keys().next().copied() {
+                Some(oldest) if oldest != frame_id || self.frames.len() == 1 => oldest,
+                // Oldest is the active frame but others exist: evict the
+                // next oldest instead.
+                Some(_) => match self.frames.keys().nth(1).copied() {
+                    Some(v) => v,
+                    None => break,
+                },
+                None => break,
+            };
+            if let Some(ev) = self.purge_frame(victim) {
+                events.push(ev);
+            } else {
+                break;
+            }
+        }
+
+        events
+    }
+
+    fn remember_finished(&mut self, frame_id: u64) {
+        self.finished.insert(frame_id);
+        while self.finished.len() > self.finished_cap {
+            let oldest = *self.finished.iter().next().expect("non-empty");
+            self.finished.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StreamId;
+
+    fn pkt(frame_id: u64, seq: u64, kind: PacketKind) -> VideoPacket {
+        VideoPacket {
+            stream: StreamId(0),
+            sequence: seq,
+            frame_id,
+            gop_id: frame_id / 90,
+            frame_type: if frame_id.is_multiple_of(90) {
+                FrameType::Key
+            } else {
+                FrameType::Delta
+            },
+            kind,
+            size: match kind {
+                PacketKind::Media { .. } => 1200,
+                PacketKind::Pps => 64,
+                PacketKind::Sps => 96,
+            },
+            capture_time: SimTime::from_millis(frame_id * 33),
+        }
+    }
+
+    fn frame_packets(frame_id: u64, first_seq: u64, media: u16) -> Vec<VideoPacket> {
+        let mut v = vec![pkt(frame_id, first_seq, PacketKind::Pps)];
+        for i in 0..media {
+            v.push(pkt(
+                frame_id,
+                first_seq + 1 + i as u64,
+                PacketKind::Media {
+                    index: i,
+                    count: media,
+                },
+            ));
+        }
+        v
+    }
+
+    #[test]
+    fn frame_completes_when_all_packets_arrive() {
+        let mut buf = PacketBuffer::new(100);
+        let pkts = frame_packets(0, 0, 3);
+        let mut completed = None;
+        for (i, p) in pkts.iter().enumerate() {
+            let evs = buf.insert(SimTime::from_millis(i as u64), p);
+            for e in evs {
+                if let PacketBufferEvent::FrameComplete(f) = e {
+                    completed = Some(f);
+                }
+            }
+        }
+        let f = completed.expect("frame should complete");
+        assert_eq!(f.frame_id, 0);
+        assert_eq!(f.size, 3600);
+        assert_eq!(f.first_arrival.as_millis(), 0);
+        assert_eq!(f.completed_at.as_millis(), 3);
+        assert_eq!(f.fcd().as_millis(), 3);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn incomplete_without_pps() {
+        let mut buf = PacketBuffer::new(100);
+        for p in frame_packets(0, 0, 2).iter().skip(1) {
+            let evs = buf.insert(SimTime::ZERO, p);
+            assert!(evs.is_empty(), "{evs:?}");
+        }
+        assert_eq!(buf.frames_pending(), 1);
+    }
+
+    #[test]
+    fn completes_out_of_order() {
+        let mut buf = PacketBuffer::new(100);
+        let mut pkts = frame_packets(0, 0, 3);
+        pkts.reverse();
+        let mut done = false;
+        for p in &pkts {
+            for e in buf.insert(SimTime::from_millis(1), p) {
+                if matches!(e, PacketBufferEvent::FrameComplete(_)) {
+                    done = true;
+                }
+            }
+        }
+        assert!(done);
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let mut buf = PacketBuffer::new(100);
+        let p = pkt(0, 5, PacketKind::Media { index: 0, count: 2 });
+        buf.insert(SimTime::ZERO, &p);
+        let evs = buf.insert(SimTime::ZERO, &p);
+        assert_eq!(evs, vec![PacketBufferEvent::Duplicate { sequence: 5 }]);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn stale_packet_after_completion() {
+        let mut buf = PacketBuffer::new(100);
+        for p in frame_packets(0, 0, 2) {
+            buf.insert(SimTime::ZERO, &p);
+        }
+        // Re-deliver one of them after the frame completed.
+        let evs = buf.insert(
+            SimTime::from_millis(9),
+            &pkt(0, 1, PacketKind::Media { index: 0, count: 2 }),
+        );
+        assert_eq!(evs, vec![PacketBufferEvent::StalePacket { frame_id: 0 }]);
+    }
+
+    #[test]
+    fn eviction_targets_oldest_incomplete_frame() {
+        let mut buf = PacketBuffer::new(4);
+        // Frame 0: 2 packets, incomplete (missing one media).
+        buf.insert(SimTime::ZERO, &pkt(0, 0, PacketKind::Pps));
+        buf.insert(
+            SimTime::ZERO,
+            &pkt(0, 1, PacketKind::Media { index: 0, count: 2 }),
+        );
+        // Frame 1 packets push the buffer over capacity.
+        buf.insert(SimTime::from_millis(33), &pkt(1, 3, PacketKind::Pps));
+        buf.insert(
+            SimTime::from_millis(33),
+            &pkt(1, 4, PacketKind::Media { index: 0, count: 3 }),
+        );
+        let evs = buf.insert(
+            SimTime::from_millis(34),
+            &pkt(1, 5, PacketKind::Media { index: 1, count: 3 }),
+        );
+        assert!(
+            evs.contains(&PacketBufferEvent::FrameEvicted {
+                frame_id: 0,
+                packets_dropped: 2
+            }),
+            "{evs:?}"
+        );
+        assert!(buf.is_finished(0));
+        // Frame 0's straggler is now stale even though it never completed.
+        let evs = buf.insert(
+            SimTime::from_millis(40),
+            &pkt(0, 2, PacketKind::Media { index: 1, count: 2 }),
+        );
+        assert_eq!(evs, vec![PacketBufferEvent::StalePacket { frame_id: 0 }]);
+    }
+
+    #[test]
+    fn eviction_spares_active_frame_when_possible() {
+        let mut buf = PacketBuffer::new(3);
+        // Oldest frame is the one receiving packets; next-oldest is evicted.
+        buf.insert(SimTime::ZERO, &pkt(0, 0, PacketKind::Pps));
+        buf.insert(SimTime::ZERO, &pkt(1, 1, PacketKind::Pps));
+        buf.insert(
+            SimTime::ZERO,
+            &pkt(1, 2, PacketKind::Media { index: 0, count: 9 }),
+        );
+        // This 4th packet belongs to frame 0 (oldest): victim must be frame 1.
+        let evs = buf.insert(
+            SimTime::ZERO,
+            &pkt(0, 3, PacketKind::Media { index: 0, count: 9 }),
+        );
+        assert!(
+            evs.contains(&PacketBufferEvent::FrameEvicted {
+                frame_id: 1,
+                packets_dropped: 2
+            }),
+            "{evs:?}"
+        );
+        assert_eq!(buf.frames_pending(), 1);
+    }
+
+    #[test]
+    fn purge_frame_reports_drop() {
+        let mut buf = PacketBuffer::new(100);
+        buf.insert(SimTime::ZERO, &pkt(3, 0, PacketKind::Pps));
+        let ev = buf.purge_frame(3).unwrap();
+        assert_eq!(
+            ev,
+            PacketBufferEvent::FrameEvicted {
+                frame_id: 3,
+                packets_dropped: 1
+            }
+        );
+        assert!(buf.purge_frame(3).is_none());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn sps_packets_ignored() {
+        let mut buf = PacketBuffer::new(100);
+        let evs = buf.insert(SimTime::ZERO, &pkt(0, 0, PacketKind::Sps));
+        assert!(evs.is_empty());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn multiple_frames_assemble_concurrently() {
+        let mut buf = PacketBuffer::new(100);
+        let f0 = frame_packets(0, 0, 2);
+        let f1 = frame_packets(1, 10, 2);
+        // Interleave.
+        let mut completions = 0;
+        for p in [&f0[0], &f1[0], &f0[1], &f1[1], &f0[2], &f1[2]] {
+            for e in buf.insert(SimTime::ZERO, p) {
+                if matches!(e, PacketBufferEvent::FrameComplete(_)) {
+                    completions += 1;
+                }
+            }
+        }
+        assert_eq!(completions, 2);
+    }
+}

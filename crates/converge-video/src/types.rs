@@ -1,0 +1,178 @@
+//! Shared video-domain types: streams, frames, and the packets the
+//! scheduler moves between paths.
+
+use converge_net::SimTime;
+
+/// Identifier of one camera stream within a conference.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct StreamId(pub u8);
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cam{}", self.0)
+    }
+}
+
+/// The two frame types of the paper's model (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FrameType {
+    /// Keyframe (I-frame): independently decodable, anchors the GOP.
+    Key,
+    /// Delta frame: depends on the previous decodable frame.
+    Delta,
+}
+
+/// What a video packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PacketKind {
+    /// Slice of encoded frame data: `index` of `count` media packets.
+    Media {
+        /// Position of this packet within its frame, 0-based.
+        index: u16,
+        /// Total media packets the frame was split into.
+        count: u16,
+    },
+    /// Picture Parameter Set: per-frame decoding parameters. Without it the
+    /// frame is non-decodable (§2.1).
+    Pps,
+    /// Sequence Parameter Set: per-GOP decoding parameters. Without it the
+    /// whole group of frames is non-decodable.
+    Sps,
+}
+
+impl PacketKind {
+    /// Whether this is regular media data.
+    pub fn is_media(self) -> bool {
+        matches!(self, PacketKind::Media { .. })
+    }
+}
+
+/// One video RTP packet as scheduled over the network. Payload bytes are
+/// modelled by `size` — the schedulers, buffers, and FEC act on structure,
+/// not pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct VideoPacket {
+    /// Camera stream this packet belongs to.
+    pub stream: StreamId,
+    /// Media-level sequence number, unique and monotone per stream (the
+    /// "original sequence numbers" used for frame construction, paper §5).
+    pub sequence: u64,
+    /// Frame the packet belongs to (monotone per stream).
+    pub frame_id: u64,
+    /// GOP the frame belongs to (monotone per stream).
+    pub gop_id: u64,
+    /// Type of the carrying frame.
+    pub frame_type: FrameType,
+    /// What the packet carries.
+    pub kind: PacketKind,
+    /// Wire size in bytes, headers included.
+    pub size: usize,
+    /// When the camera captured the frame.
+    pub capture_time: SimTime,
+}
+
+impl VideoPacket {
+    /// Whether losing this packet makes a frame (PPS) or a GOP (SPS)
+    /// non-decodable even if all media arrives.
+    pub fn is_control(&self) -> bool {
+        matches!(self.kind, PacketKind::Pps | PacketKind::Sps)
+    }
+}
+
+/// An encoded frame emitted by the encoder model before packetization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedFrame {
+    /// Camera stream.
+    pub stream: StreamId,
+    /// Monotone frame number.
+    pub frame_id: u64,
+    /// GOP this frame opens or belongs to.
+    pub gop_id: u64,
+    /// Keyframe or delta.
+    pub frame_type: FrameType,
+    /// Encoded size of the frame's media data, bytes.
+    pub size: usize,
+    /// Quantization parameter used (0..=63, lower is better quality).
+    pub qp: u8,
+    /// Encoded frame height (the adaptive-resolution ladder rung).
+    pub height: u32,
+    /// Capture instant.
+    pub capture_time: SimTime,
+}
+
+/// A frame fully reassembled by the receiver's packet buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompleteFrame {
+    /// Camera stream.
+    pub stream: StreamId,
+    /// Frame number.
+    pub frame_id: u64,
+    /// GOP membership.
+    pub gop_id: u64,
+    /// Keyframe or delta.
+    pub frame_type: FrameType,
+    /// Total media bytes gathered.
+    pub size: usize,
+    /// Capture instant at the sender.
+    pub capture_time: SimTime,
+    /// Arrival of the frame's first packet.
+    pub first_arrival: SimTime,
+    /// Instant the frame became complete (all packets gathered).
+    pub completed_at: SimTime,
+}
+
+impl CompleteFrame {
+    /// Frame Construction Delay: gathering time from first packet to
+    /// completeness (§4.2).
+    pub fn fcd(&self) -> converge_net::SimDuration {
+        self.completed_at.saturating_since(self.first_arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use converge_net::SimTime;
+
+    #[test]
+    fn control_packets_flagged() {
+        let mut p = VideoPacket {
+            stream: StreamId(0),
+            sequence: 0,
+            frame_id: 0,
+            gop_id: 0,
+            frame_type: FrameType::Key,
+            kind: PacketKind::Pps,
+            size: 40,
+            capture_time: SimTime::ZERO,
+        };
+        assert!(p.is_control());
+        p.kind = PacketKind::Sps;
+        assert!(p.is_control());
+        p.kind = PacketKind::Media { index: 0, count: 3 };
+        assert!(!p.is_control());
+        assert!(p.kind.is_media());
+    }
+
+    #[test]
+    fn fcd_measures_gathering() {
+        let f = CompleteFrame {
+            stream: StreamId(0),
+            frame_id: 1,
+            gop_id: 0,
+            frame_type: FrameType::Delta,
+            size: 1000,
+            capture_time: SimTime::ZERO,
+            first_arrival: SimTime::from_millis(10),
+            completed_at: SimTime::from_millis(25),
+        };
+        assert_eq!(f.fcd().as_millis(), 15);
+    }
+
+    #[test]
+    fn stream_display() {
+        assert_eq!(StreamId(2).to_string(), "cam2");
+    }
+}

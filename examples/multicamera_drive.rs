@@ -1,0 +1,55 @@
+//! Multi-camera driving comparison: the paper's motivating workload —
+//! conferencing with up to three camera streams from a moving vehicle —
+//! run over every scheduler, printing a Figure-3-style comparison.
+//!
+//! ```text
+//! cargo run --release -p converge-sim --example multicamera_drive
+//! ```
+
+use converge_net::SimDuration;
+use converge_sim::{FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig};
+
+fn main() {
+    let duration = SimDuration::from_secs(60);
+    let systems: [(SchedulerKind, FecKind); 5] = [
+        (SchedulerKind::SinglePath(1), FecKind::WebRtcTable), // WebRTC on cellular A
+        (SchedulerKind::MRtp, FecKind::WebRtcTable),
+        (SchedulerKind::MTput, FecKind::WebRtcTable),
+        (SchedulerKind::Srtt, FecKind::WebRtcTable),
+        (SchedulerKind::Converge, FecKind::Converge),
+    ];
+
+    println!("Multi-camera video conferencing while driving (60 s per call)");
+    println!();
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>12} {:>10}",
+        "system", "streams", "fps/cam", "freeze ms", "fec ovh %", "e2e ms"
+    );
+
+    for streams in 1..=3u8 {
+        for (scheduler, fec) in systems {
+            let config = SessionConfig::paper_default(
+                ScenarioConfig::driving(duration, 42),
+                scheduler,
+                fec,
+                streams,
+                duration,
+                42,
+            );
+            let r = Session::new(config).run();
+            println!(
+                "{:<22} {:>8} {:>10.1} {:>10.0} {:>12.1} {:>10.1}",
+                scheduler.label(),
+                streams,
+                r.fps_per_stream(),
+                r.freeze_total_ms,
+                r.fec_overhead_pct(),
+                r.e2e_mean_ms
+            );
+        }
+        println!();
+    }
+    println!("Expected shape (paper Fig. 3): the naive multipath variants drop");
+    println!("below single-path WebRTC on FPS and pile up FEC overhead, while");
+    println!("Converge holds the highest FPS with the least overhead.");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: run one Converge multipath conference call over the
+//! emulated "driving" scenario and print the QoE report.
+//!
+//! ```text
+//! cargo run --release -p converge-sim --example quickstart
+//! ```
+
+use converge_net::SimDuration;
+use converge_sim::{FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig};
+
+fn main() {
+    let duration = SimDuration::from_secs(60);
+    // Two emulated cellular paths with driving-grade bandwidth dynamics.
+    let scenario = ScenarioConfig::driving(duration, 42);
+
+    let config = SessionConfig::paper_default(
+        scenario,
+        SchedulerKind::Converge,
+        FecKind::Converge,
+        /* camera streams */ 1,
+        duration,
+        /* seed */ 42,
+    );
+
+    println!("Running a 60 s Converge call over two emulated driving paths...");
+    let report = Session::new(config).run();
+
+    println!();
+    println!("=== Call report ===");
+    println!(
+        "throughput        {:>8.2} Mbps",
+        report.throughput_bps / 1e6
+    );
+    println!("frame rate        {:>8.1} fps", report.fps_per_stream());
+    println!(
+        "E2E latency       {:>8.1} ms (mean), {:.1} ms (p95)",
+        report.e2e_mean_ms, report.e2e_p95_ms
+    );
+    println!(
+        "video freezes     {:>8.0} ms total across {} events",
+        report.freeze_total_ms, report.freeze_events
+    );
+    println!(
+        "image quality     QP {:>5.1}, PSNR {:.1} dB",
+        report.avg_qp, report.psnr_db
+    );
+    println!(
+        "frames            {} encoded / {} decoded / {} dropped",
+        report.frames_encoded, report.frames_decoded, report.frames_dropped
+    );
+    println!(
+        "FEC               {:>5.1}% overhead, {:.1}% utilization",
+        report.fec_overhead_pct(),
+        report.fec_utilization_pct()
+    );
+    println!("keyframe requests {:>5}", report.keyframe_requests);
+    println!();
+    println!("Per-path usage:");
+    for (path, c) in &report.paths {
+        println!(
+            "  {path}: {} pkts sent ({:.2} MB), {} received, {} lost",
+            c.packets_sent,
+            c.bytes_sent as f64 / 1e6,
+            c.packets_received,
+            c.packets_lost
+        );
+    }
+}

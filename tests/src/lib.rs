@@ -1,0 +1,9 @@
+//! Cross-crate integration tests for the Converge workspace live in the
+//! `tests/` directory of this crate; the library itself only hosts shared
+//! helpers.
+
+/// Builds a deterministic two-path clean-network scenario used by several
+/// integration tests.
+pub fn clean_scenario() -> converge_sim::ScenarioConfig {
+    converge_sim::ScenarioConfig::fec_tradeoff(0.0)
+}

@@ -1,0 +1,432 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the workspace.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use converge_core::PathShare;
+use converge_net::event::EventQueue;
+use converge_net::{
+    Link, LinkConfig, LossModel, PathId, RateTrace, SimDuration, SimTime, Transmit,
+};
+use converge_rtp::{fec, MultipathExtension, PayloadType, RtpPacket};
+use converge_video::{
+    CompleteFrame, FrameBuffer, FrameBufferEvent, FrameType, PacketBuffer, PacketBufferEvent,
+    PacketKind, StreamId, VideoPacket,
+};
+
+// ---------- wire formats ----------
+
+fn arb_payload_type() -> impl Strategy<Value = PayloadType> {
+    prop_oneof![
+        Just(PayloadType::Video),
+        Just(PayloadType::Fec),
+        Just(PayloadType::Retransmission),
+        Just(PayloadType::Probe),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rtp_roundtrips_any_fields(
+        marker in any::<bool>(),
+        pt in arb_payload_type(),
+        sequence in any::<u16>(),
+        timestamp in any::<u32>(),
+        ssrc in any::<u32>(),
+        with_ext in any::<bool>(),
+        path_id in any::<u8>(),
+        mp_seq in any::<u16>(),
+        mp_tseq in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        let p = RtpPacket {
+            marker,
+            payload_type: pt,
+            sequence,
+            timestamp,
+            ssrc,
+            extension: with_ext.then_some(MultipathExtension {
+                path_id,
+                mp_sequence: mp_seq,
+                mp_transport_sequence: mp_tseq,
+            }),
+            payload: Bytes::from(payload),
+        };
+        let back = RtpPacket::parse(p.serialize()).expect("roundtrip");
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn rtp_parser_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = RtpPacket::parse(Bytes::from(data));
+    }
+
+    #[test]
+    fn rtcp_parser_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = converge_rtp::RtcpPacket::parse(Bytes::from(data));
+    }
+}
+
+// ---------- FEC ----------
+
+proptest! {
+    #[test]
+    fn fec_recovers_any_single_loss(
+        sizes in proptest::collection::vec(1usize..1400, 1..12),
+        missing_idx in any::<prop::sample::Index>(),
+        seed in any::<u64>(),
+    ) {
+        let packets: Vec<(u16, Bytes)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let body: Vec<u8> = (0..len)
+                    .map(|j| ((seed as usize + i * 31 + j * 7) % 256) as u8)
+                    .collect();
+                (i as u16, Bytes::from(body))
+            })
+            .collect();
+        let group = fec::encode_one(&packets);
+        let missing = missing_idx.index(packets.len());
+        let received: Vec<(u16, Bytes)> = packets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != missing)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let (seq, payload) = fec::recover(&group, &received).expect("single loss recoverable");
+        prop_assert_eq!(seq, packets[missing].0);
+        prop_assert_eq!(payload, packets[missing].1.clone());
+    }
+
+    #[test]
+    fn fec_groups_partition_packets(
+        n in 1usize..60,
+        repair in 1usize..12,
+    ) {
+        let packets: Vec<(u16, Bytes)> = (0..n as u16)
+            .map(|s| (s, Bytes::from(vec![s as u8; 100])))
+            .collect();
+        let groups = fec::encode_groups(&packets, repair);
+        let mut covered: Vec<u16> = groups.iter().flat_map(|g| g.protected.clone()).collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, (0..n as u16).collect::<Vec<_>>());
+        prop_assert_eq!(groups.len(), repair.min(n));
+    }
+}
+
+// ---------- event queue & time ----------
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..100_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+        }
+    }
+
+    #[test]
+    fn serialization_delay_monotone_in_size(
+        a in 1usize..10_000,
+        b in 1usize..10_000,
+        rate in 1u64..1_000_000_000,
+    ) {
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assert!(
+            SimDuration::for_bytes_at_rate(small, rate)
+                <= SimDuration::for_bytes_at_rate(large, rate)
+        );
+    }
+}
+
+// ---------- link ----------
+
+proptest! {
+    #[test]
+    fn link_deliveries_are_fifo(
+        sizes in proptest::collection::vec(1usize..1500, 1..100),
+        gap_us in 0u64..5_000,
+    ) {
+        let mut link = Link::new(LinkConfig {
+            rate: RateTrace::constant(5_000_000),
+            propagation: SimDuration::from_millis(10),
+            queue_capacity_bytes: usize::MAX / 2,
+            loss: LossModel::None,
+            jitter: SimDuration::ZERO,
+            discipline: converge_net::QueueDiscipline::DropTail,
+            seed: 0,
+        });
+        let mut last_delivery = SimTime::ZERO;
+        for (i, &size) in sizes.iter().enumerate() {
+            let now = SimTime::from_micros(i as u64 * gap_us);
+            match link.transmit(now, size) {
+                Transmit::Delivered(at) => {
+                    prop_assert!(at >= last_delivery, "reordered delivery");
+                    prop_assert!(at >= now, "delivery before send");
+                    last_delivery = at;
+                }
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+    }
+}
+
+// ---------- traces ----------
+
+proptest! {
+    #[test]
+    fn trace_rate_at_always_within_segment_values(
+        rates in proptest::collection::vec(0u64..100_000_000, 1..50),
+        at_us in 0u64..1_000_000_000,
+    ) {
+        let t = RateTrace::new(SimDuration::from_millis(500), rates.clone());
+        let r = t.rate_at(SimTime::from_micros(at_us));
+        prop_assert!(rates.contains(&r));
+    }
+
+    #[test]
+    fn trace_csv_roundtrips(
+        // Two or more rows: a single-row trace cannot encode its step in
+        // CSV (documented behaviour of `from_csv`).
+        rates in proptest::collection::vec(0u64..100_000_000, 2..50),
+        step_ms in 1u64..10_000,
+    ) {
+        let t = RateTrace::new(SimDuration::from_millis(step_ms), rates);
+        let back = RateTrace::from_csv(&t.to_csv()).expect("roundtrip");
+        prop_assert_eq!(t, back);
+    }
+}
+
+// ---------- path share (Eq. 1 + Eq. 2) ----------
+
+proptest! {
+    #[test]
+    fn split_always_covers_exactly_n(
+        n in 0usize..200,
+        rates in proptest::collection::vec(1u64..50_000_000, 1..5),
+        alphas in proptest::collection::vec(-40i32..40, 0..10),
+    ) {
+        use converge_core::PathMetrics;
+        let paths: Vec<PathMetrics> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| PathMetrics::new(
+                PathId(i as u8),
+                r,
+                SimDuration::from_millis(50),
+                0.0,
+            ))
+            .collect();
+        let mut share = PathShare::new();
+        for (i, &a) in alphas.iter().enumerate() {
+            share.apply_feedback(PathId((i % rates.len()) as u8), a, SimDuration::from_millis(10));
+        }
+        let counts = share.split(n, &paths, &std::collections::BTreeMap::new());
+        let total: usize = counts.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, n);
+    }
+}
+
+// ---------- receiver buffers ----------
+
+/// Builds the packet list of one frame.
+fn frame_packets(frame_id: u64, base_seq: u64, media: u16) -> Vec<VideoPacket> {
+    let mut v = vec![VideoPacket {
+        stream: StreamId(0),
+        sequence: base_seq,
+        frame_id,
+        gop_id: 0,
+        frame_type: if frame_id == 0 {
+            FrameType::Key
+        } else {
+            FrameType::Delta
+        },
+        kind: PacketKind::Pps,
+        size: 64,
+        capture_time: SimTime::from_millis(frame_id * 33),
+    }];
+    for i in 0..media {
+        v.push(VideoPacket {
+            sequence: base_seq + 1 + i as u64,
+            kind: PacketKind::Media {
+                index: i,
+                count: media,
+            },
+            size: 1200,
+            ..v[0]
+        });
+    }
+    v
+}
+
+proptest! {
+    #[test]
+    fn packet_buffer_completes_frames_in_any_arrival_order(
+        order_seed in any::<u64>(),
+        media in 1u16..20,
+    ) {
+        let mut pkts = frame_packets(0, 0, media);
+        // Deterministic shuffle from the seed.
+        let mut s = order_seed;
+        for i in (1..pkts.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            pkts.swap(i, j);
+        }
+        let mut buf = PacketBuffer::new(1024);
+        let mut complete = 0;
+        for (i, p) in pkts.iter().enumerate() {
+            for ev in buf.insert(SimTime::from_micros(i as u64), p) {
+                if let PacketBufferEvent::FrameComplete(f) = ev {
+                    complete += 1;
+                    prop_assert_eq!(f.size, media as usize * 1200);
+                }
+            }
+        }
+        prop_assert_eq!(complete, 1, "exactly one completion");
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn packet_buffer_never_exceeds_capacity(
+        cap in 4usize..64,
+        inserts in proptest::collection::vec((0u64..30, 0u16..6), 1..300),
+    ) {
+        let mut buf = PacketBuffer::new(cap);
+        for (i, &(frame_id, index)) in inserts.iter().enumerate() {
+            let p = VideoPacket {
+                stream: StreamId(0),
+                sequence: i as u64,
+                frame_id,
+                gop_id: 0,
+                frame_type: FrameType::Delta,
+                // count high enough that frames rarely complete.
+                kind: PacketKind::Media { index, count: 6 },
+                size: 1200,
+                capture_time: SimTime::ZERO,
+            };
+            buf.insert(SimTime::from_micros(i as u64), &p);
+            prop_assert!(buf.len() <= cap, "len {} > cap {cap}", buf.len());
+        }
+    }
+
+    #[test]
+    fn frame_buffer_decodes_in_strictly_increasing_order(
+        order_seed in any::<u64>(),
+        n_frames in 2u64..30,
+    ) {
+        let mut ids: Vec<u64> = (0..n_frames).collect();
+        let mut s = order_seed;
+        for i in (1..ids.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            ids.swap(i, j);
+        }
+        let mut fb = FrameBuffer::new(64);
+        fb.sps_received(0);
+        let mut decoded: Vec<u64> = Vec::new();
+        for (step, &frame_id) in ids.iter().enumerate() {
+            let frame = CompleteFrame {
+                stream: StreamId(0),
+                frame_id,
+                gop_id: 0,
+                frame_type: if frame_id == 0 { FrameType::Key } else { FrameType::Delta },
+                size: 1000,
+                capture_time: SimTime::from_millis(frame_id * 33),
+                first_arrival: SimTime::from_millis(step as u64),
+                completed_at: SimTime::from_millis(step as u64),
+            };
+            for ev in fb.insert(SimTime::from_millis(step as u64), frame) {
+                if let FrameBufferEvent::Decoded { frame, .. } = ev {
+                    decoded.push(frame.frame_id);
+                }
+            }
+        }
+        // The decode sequence is strictly increasing (never replays or
+        // reorders) regardless of arrival order.
+        for w in decoded.windows(2) {
+            prop_assert!(w[0] < w[1], "decode order violated: {decoded:?}");
+        }
+        // If the keyframe arrived before any delta, the whole chain must
+        // decode; otherwise the buffer abandons the pre-keyframe chain and
+        // asks the sender for a fresh keyframe (tested in unit tests).
+        if ids[0] == 0 {
+            prop_assert_eq!(decoded, (0..n_frames).collect::<Vec<_>>());
+        }
+    }
+}
+
+// ---------- quality model ----------
+
+proptest! {
+    #[test]
+    fn qp_and_psnr_move_oppositely(
+        r1 in 100_000.0f64..50_000_000.0,
+        r2 in 100_000.0f64..50_000_000.0,
+    ) {
+        use converge_video::{psnr_for_bitrate, qp_for_bitrate, VideoFormat};
+        let f = VideoFormat::HD720;
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(qp_for_bitrate(f, lo) >= qp_for_bitrate(f, hi));
+        prop_assert!(psnr_for_bitrate(f, lo) <= psnr_for_bitrate(f, hi));
+    }
+}
+
+// ---------- scheduler assignments ----------
+
+proptest! {
+    #[test]
+    fn schedulers_assign_every_packet_to_a_known_path(
+        n_packets in 1usize..80,
+        rate0 in 1u64..30_000_000,
+        rate1 in 1u64..30_000_000,
+    ) {
+        use converge_core::{
+            classify, ConvergeScheduler, ConvergeSchedulerConfig, MRtpScheduler,
+            MTputScheduler, PathMetrics, Schedulable, Scheduler, SrttScheduler,
+        };
+        let paths = [
+            PathMetrics::new(PathId(0), rate0, SimDuration::from_millis(40), 0.0),
+            PathMetrics::new(PathId(1), rate1, SimDuration::from_millis(80), 0.0),
+        ];
+        let packets: Vec<Schedulable> = (0..n_packets)
+            .map(|i| {
+                let p = VideoPacket {
+                    stream: StreamId(0),
+                    sequence: i as u64,
+                    frame_id: 0,
+                    gop_id: 0,
+                    frame_type: if i == 0 { FrameType::Key } else { FrameType::Delta },
+                    kind: if i == 0 {
+                        PacketKind::Pps
+                    } else {
+                        PacketKind::Media { index: i as u16, count: n_packets as u16 }
+                    },
+                    size: 1200,
+                    capture_time: SimTime::ZERO,
+                };
+                Schedulable { packet: p, class: classify(&p) }
+            })
+            .collect();
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(ConvergeScheduler::new(ConvergeSchedulerConfig::default())),
+            Box::new(SrttScheduler::new(1250, SimDuration::from_micros(33_333))),
+            Box::new(MTputScheduler::new()),
+            Box::new(MRtpScheduler::new()),
+        ];
+        for sched in schedulers.iter_mut() {
+            let out = sched.assign_batch(SimTime::ZERO, &packets, &paths);
+            prop_assert_eq!(out.len(), packets.len(), "{}", sched.name());
+            for a in &out {
+                prop_assert!(a.path == PathId(0) || a.path == PathId(1));
+            }
+        }
+    }
+}
