@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, unit/integration tests, and a quick-scale smoke run
+# of the full experiment sweep on 2 workers (exercises the work-stealing
+# pool, the memo cache, and the bench-report writer).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+
+mkdir -p results
+cargo run --release -p converge-bench --bin experiments -- \
+    all --quick --jobs 2 --bench-json results/BENCH_sweep.json > results/smoke_all.txt
+test -s results/smoke_all.txt
+grep -q '"schema": "converge-bench/sweep/v1"' results/BENCH_sweep.json
+echo "ci: ok"

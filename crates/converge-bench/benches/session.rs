@@ -1,10 +1,12 @@
 //! Criterion end-to-end session benches: a short conference call per
-//! system, measuring full simulation cost (sender + network + receiver).
+//! system, measuring full simulation cost (sender + network + receiver),
+//! plus the sweep engine's memo-cache hit path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use converge_bench::{Cell, CellCache, Job, ScenarioSpec};
 use converge_net::SimDuration;
-use converge_sim::{FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig};
+use converge_sim::{FecKind, SchedulerKind};
 
 fn bench_sessions(c: &mut Criterion) {
     let mut group = c.benchmark_group("session/10s_driving_call");
@@ -17,23 +19,40 @@ fn bench_sessions(c: &mut Criterion) {
         ("m-rtp", SchedulerKind::MRtp, FecKind::WebRtcTable),
     ];
     for (name, scheduler, fec) in systems {
+        let job = Job::new(
+            Cell::new(ScenarioSpec::Driving, scheduler, fec, 1),
+            SimDuration::from_secs(10),
+            42,
+        );
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let duration = SimDuration::from_secs(10);
-                let config = SessionConfig::paper_default(
-                    ScenarioConfig::driving(duration, 42),
-                    scheduler,
-                    fec,
-                    1,
-                    duration,
-                    42,
-                );
-                Session::new(config).run().frames_decoded
-            });
+            b.iter(|| std::hint::black_box(&job).run_uncached().frames_decoded);
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_sessions);
+fn bench_cell_cache(c: &mut Criterion) {
+    let job = Job::new(
+        Cell::new(
+            ScenarioSpec::Driving,
+            SchedulerKind::Converge,
+            FecKind::Converge,
+            1,
+        ),
+        SimDuration::from_secs(10),
+        42,
+    );
+    let cache = CellCache::new();
+    cache.get_or_run(&job); // warm the entry; the bench measures pure hits
+    c.bench_function("sweep/cell_cache_hit", |b| {
+        b.iter(|| {
+            cache
+                .get_or_run(std::hint::black_box(&job))
+                .report
+                .frames_decoded
+        });
+    });
+}
+
+criterion_group!(benches, bench_sessions, bench_cell_cache);
 criterion_main!(benches);

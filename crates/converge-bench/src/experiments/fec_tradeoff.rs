@@ -2,107 +2,167 @@
 //! path-specific controller vs WebRTC's static table on two 15 Mbps /
 //! 100 ms paths, loss swept 0–10 %.
 
-use converge_sim::{CallReport, FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig};
+use converge_sim::{CallReport, FecKind, SchedulerKind};
 
-use crate::runner::Scale;
+use crate::runner::{run_once, Cell, Job, Scale, ScenarioSpec};
+use crate::sweep::{ExperimentSpec, Reports};
 
-fn run_pair(loss_pct: f64, fec: FecKind, scale: Scale, seed: u64) -> CallReport {
-    let duration = scale.duration();
-    let cfg = SessionConfig::paper_default(
-        ScenarioConfig::fec_tradeoff(loss_pct),
+fn pair_cell(loss_pct: f64, fec: FecKind) -> Cell {
+    Cell::new(
+        ScenarioSpec::fec_tradeoff_pct(loss_pct),
         SchedulerKind::Converge,
         fec,
         1,
-        duration,
-        seed,
-    );
-    Session::new(cfg).run()
+    )
+}
+
+fn run_pair(loss_pct: f64, fec: FecKind, scale: Scale, seed: u64) -> CallReport {
+    run_once(&pair_cell(loss_pct, fec), scale.duration(), seed)
+}
+
+const FIG12_LOSSES: [f64; 7] = [0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0];
+const FIG13_LOSSES: [f64; 4] = [1.0, 2.0, 5.0, 10.0];
+const POLICIES: [(&str, FecKind); 2] = [
+    ("webrtc-table", FecKind::WebRtcTable),
+    ("converge", FecKind::Converge),
+];
+
+/// Declares Fig. 12: both policies across the loss sweep, seed 7.
+pub fn spec_fig12(scale: Scale) -> ExperimentSpec {
+    let mut jobs = Vec::new();
+    for loss in FIG12_LOSSES {
+        for (_, fec) in POLICIES {
+            jobs.push(Job::new(pair_cell(loss, fec), scale.duration(), 7));
+        }
+    }
+    ExperimentSpec {
+        jobs,
+        fold: Box::new(move |reports| {
+            let mut r = Reports::new(reports);
+            let mut out = String::new();
+            out.push_str("# Fig. 12 — FEC overhead & utilization vs loss rate\n");
+            out.push_str(&format!(
+                "{:>6} {:<14} {:>10} {:>10}\n",
+                "loss%", "policy", "ovh_%", "util_%"
+            ));
+            for loss in FIG12_LOSSES {
+                for (label, _) in POLICIES {
+                    let rep = r.one();
+                    out.push_str(&format!(
+                        "{:>6.1} {:<14} {:>10.1} {:>10.1}\n",
+                        loss,
+                        label,
+                        rep.fec_overhead_pct(),
+                        rep.fec_utilization_pct()
+                    ));
+                }
+            }
+            out.push_str("# paper shape: the table sends ~40% overhead at 1% loss with <20%\n");
+            out.push_str("# utilization; Converge sends ~5% and uses almost all of it.\n");
+            out
+        }),
+    }
 }
 
 /// Fig. 12: FEC overhead and utilization vs loss rate for both policies.
 pub fn run_fig12(scale: Scale) -> String {
-    let mut out = String::new();
-    out.push_str("# Fig. 12 — FEC overhead & utilization vs loss rate\n");
-    out.push_str(&format!(
-        "{:>6} {:<14} {:>10} {:>10}\n",
-        "loss%", "policy", "ovh_%", "util_%"
-    ));
-    for loss in [0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0] {
-        for (label, fec) in [
-            ("webrtc-table", FecKind::WebRtcTable),
-            ("converge", FecKind::Converge),
-        ] {
-            let r = run_pair(loss, fec, scale, 7);
-            out.push_str(&format!(
-                "{:>6.1} {:<14} {:>10.1} {:>10.1}\n",
-                loss,
-                label,
-                r.fec_overhead_pct(),
-                r.fec_utilization_pct()
-            ));
+    crate::sweep::render(spec_fig12(scale))
+}
+
+/// Declares Fig. 13: both policies at four loss rates, seed 13.
+pub fn spec_fig13(scale: Scale) -> ExperimentSpec {
+    let mut jobs = Vec::new();
+    for loss in FIG13_LOSSES {
+        for (_, fec) in POLICIES {
+            jobs.push(Job::new(pair_cell(loss, fec), scale.duration(), 13));
         }
     }
-    out.push_str("# paper shape: the table sends ~40% overhead at 1% loss with <20%\n");
-    out.push_str("# utilization; Converge sends ~5% and uses almost all of it.\n");
-    out
+    ExperimentSpec {
+        jobs,
+        fold: Box::new(move |reports| {
+            let mut r = Reports::new(reports);
+            let mut out = String::new();
+            out.push_str("# Fig. 13 — throughput vs E2E delay trade-off\n");
+            out.push_str("# columns: loss% policy tput_mbps e2e_ms\n");
+            for loss in FIG13_LOSSES {
+                for (label, _) in POLICIES {
+                    let rep = r.one();
+                    out.push_str(&format!(
+                        "{loss:.0} {label} {:.2} {:.1}\n",
+                        rep.throughput_bps / 1e6,
+                        rep.e2e_mean_ms
+                    ));
+                }
+            }
+            out.push_str("# paper shape: Converge sits in the upper-left (high throughput, low\n");
+            out.push_str("# delay); the table pays both throughput and latency for its FEC.\n");
+            out
+        }),
+    }
 }
 
 /// Fig. 13: the throughput vs E2E-delay trade-off scatter.
 pub fn run_fig13(scale: Scale) -> String {
-    let mut out = String::new();
-    out.push_str("# Fig. 13 — throughput vs E2E delay trade-off\n");
-    out.push_str("# columns: loss% policy tput_mbps e2e_ms\n");
-    for loss in [1.0, 2.0, 5.0, 10.0] {
-        for (label, fec) in [
-            ("webrtc-table", FecKind::WebRtcTable),
-            ("converge", FecKind::Converge),
-        ] {
-            let r = run_pair(loss, fec, scale, 13);
-            out.push_str(&format!(
-                "{loss:.0} {label} {:.2} {:.1}\n",
-                r.throughput_bps / 1e6,
-                r.e2e_mean_ms
-            ));
-        }
+    crate::sweep::render(spec_fig13(scale))
+}
+
+/// Declares Table 5: both policies at 1–10 % integer loss rates, seed 21.
+pub fn spec_table5(scale: Scale) -> ExperimentSpec {
+    let mut jobs = Vec::new();
+    for loss in 1..=10u32 {
+        jobs.push(Job::new(
+            pair_cell(loss as f64, FecKind::WebRtcTable),
+            scale.duration(),
+            21,
+        ));
+        jobs.push(Job::new(
+            pair_cell(loss as f64, FecKind::Converge),
+            scale.duration(),
+            21,
+        ));
     }
-    out.push_str("# paper shape: Converge sits in the upper-left (high throughput, low\n");
-    out.push_str("# delay); the table pays both throughput and latency for its FEC.\n");
-    out
+    ExperimentSpec {
+        jobs,
+        fold: Box::new(move |reports| {
+            let mut r = Reports::new(reports);
+            let mut out = String::new();
+            out.push_str("# Table 5 — % improvement, Converge FEC vs WebRTC table FEC\n");
+            out.push_str(&format!(
+                "{:>6} {:>14} {:>14} {:>14}\n",
+                "loss%", "drops_%", "freeze_%", "kf_req_%"
+            ));
+            let improvement = |base: f64, ours: f64| {
+                if base <= 0.0 {
+                    0.0
+                } else {
+                    ((base - ours) / base * 100.0).max(0.0)
+                }
+            };
+            for loss in 1..=10u32 {
+                let table = r.one();
+                let conv = r.one();
+                out.push_str(&format!(
+                    "{:>6} {:>14.0} {:>14.0} {:>14.0}\n",
+                    loss,
+                    improvement(table.frames_dropped as f64, conv.frames_dropped as f64),
+                    improvement(table.freeze_total_ms, conv.freeze_total_ms),
+                    improvement(
+                        table.keyframe_requests as f64,
+                        conv.keyframe_requests as f64
+                    ),
+                ));
+            }
+            out.push_str("# paper shape: ~90%+ fewer frame drops, ~50% less freezing, and\n");
+            out.push_str("# 50-80% fewer keyframe requests across the sweep.\n");
+            out
+        }),
+    }
 }
 
 /// Table 5: percentage QoE improvement (frame drops, freeze duration,
 /// keyframe requests) of Converge's FEC vs the table at 1–10 % loss.
 pub fn run_table5(scale: Scale) -> String {
-    let mut out = String::new();
-    out.push_str("# Table 5 — % improvement, Converge FEC vs WebRTC table FEC\n");
-    out.push_str(&format!(
-        "{:>6} {:>14} {:>14} {:>14}\n",
-        "loss%", "drops_%", "freeze_%", "kf_req_%"
-    ));
-    let improvement = |base: f64, ours: f64| {
-        if base <= 0.0 {
-            0.0
-        } else {
-            ((base - ours) / base * 100.0).max(0.0)
-        }
-    };
-    for loss in 1..=10u32 {
-        let table = run_pair(loss as f64, FecKind::WebRtcTable, scale, 21);
-        let conv = run_pair(loss as f64, FecKind::Converge, scale, 21);
-        out.push_str(&format!(
-            "{:>6} {:>14.0} {:>14.0} {:>14.0}\n",
-            loss,
-            improvement(table.frames_dropped as f64, conv.frames_dropped as f64),
-            improvement(table.freeze_total_ms, conv.freeze_total_ms),
-            improvement(
-                table.keyframe_requests as f64,
-                conv.keyframe_requests as f64
-            ),
-        ));
-    }
-    out.push_str("# paper shape: ~90%+ fewer frame drops, ~50% less freezing, and\n");
-    out.push_str("# 50-80% fewer keyframe requests across the sweep.\n");
-    out
+    crate::sweep::render(spec_table5(scale))
 }
 
 #[cfg(test)]

@@ -3,56 +3,70 @@
 
 use converge_sim::{FecKind, ScenarioConfig, SchedulerKind};
 
-use crate::runner::{run_once, Cell, Scale};
+use crate::runner::{Cell, Job, Scale, ScenarioSpec};
+use crate::sweep::{ExperimentSpec, Reports};
+
+/// Declares the two single-path calls (one per carrier) of Fig. 1.
+pub fn spec(scale: Scale) -> ExperimentSpec {
+    let duration = scale.duration();
+    let seed = 42;
+    let cell_a = Cell::new(
+        ScenarioSpec::Driving,
+        SchedulerKind::SinglePath(1), // "T-Mobile"-like path
+        FecKind::WebRtcTable,
+        1,
+    );
+    let cell_b = Cell::new(
+        ScenarioSpec::Driving,
+        SchedulerKind::SinglePath(0), // "Verizon"-like path
+        FecKind::WebRtcTable,
+        1,
+    );
+    ExperimentSpec {
+        jobs: vec![
+            Job::new(cell_a, duration, seed),
+            Job::new(cell_b, duration, seed),
+        ],
+        fold: Box::new(move |reports| {
+            let mut r = Reports::new(reports);
+            let ra = r.one();
+            let rb = r.one();
+            let scenario = ScenarioConfig::driving(duration, seed);
+
+            let mut out = String::new();
+            out.push_str("# Fig. 1 — WebRTC degrades under cellular bandwidth variation\n");
+            out.push_str("# columns: t_s carrierA_mbps carrierB_mbps fpsA fpsB e2eA_ms e2eB_ms\n");
+            for (i, (ba, bb)) in ra.bins.iter().zip(&rb.bins).enumerate() {
+                let t = converge_net::SimTime::from_secs(i as u64);
+                let rate_a = scenario.paths[1].rate.rate_at(t) as f64 / 1e6;
+                let rate_b = scenario.paths[0].rate.rate_at(t) as f64 / 1e6;
+                out.push_str(&format!(
+                    "{i} {rate_a:.2} {rate_b:.2} {} {} {:.0} {:.0}\n",
+                    ba.frames_decoded,
+                    bb.frames_decoded,
+                    ba.e2e_ms().unwrap_or(0.0),
+                    bb.e2e_ms().unwrap_or(0.0),
+                ));
+            }
+
+            let min_fps_a = ra.bins.iter().map(|b| b.frames_decoded).min().unwrap_or(0);
+            let min_fps_b = rb.bins.iter().map(|b| b.frames_decoded).min().unwrap_or(0);
+            out.push_str(&format!(
+                "# summary: carrierA min/avg fps = {}/{:.1}; carrierB min/avg fps = {}/{:.1}\n",
+                min_fps_a, ra.fps, min_fps_b, rb.fps
+            ));
+            out.push_str("# paper shape: FPS repeatedly collapses toward 0 and E2E spikes when\n");
+            out.push_str("# the active carrier's bandwidth dips; the dips of the two carriers\n");
+            out.push_str("# do not coincide (multipath headroom exists).\n");
+            out
+        }),
+    }
+}
 
 /// Regenerates Fig. 1: per-second FPS and E2E for two single-path WebRTC
 /// calls (one per carrier), plus the carriers' bandwidth traces.
 pub fn run(scale: Scale) -> String {
-    let mut out = String::new();
-    out.push_str("# Fig. 1 — WebRTC degrades under cellular bandwidth variation\n");
-    out.push_str("# columns: t_s carrierA_mbps carrierB_mbps fpsA fpsB e2eA_ms e2eB_ms\n");
-
-    let duration = scale.duration();
-    let cell_a = Cell {
-        scenario: ScenarioConfig::driving,
-        scheduler: SchedulerKind::SinglePath(1), // "T-Mobile"-like path
-        fec: FecKind::WebRtcTable,
-        streams: 1,
-    };
-    let cell_b = Cell {
-        scenario: ScenarioConfig::driving,
-        scheduler: SchedulerKind::SinglePath(0), // "Verizon"-like path
-        fec: FecKind::WebRtcTable,
-        streams: 1,
-    };
-    let seed = 42;
-    let ra = run_once(&cell_a, duration, seed);
-    let rb = run_once(&cell_b, duration, seed);
-    let scenario = ScenarioConfig::driving(duration, seed);
-
-    for (i, (ba, bb)) in ra.bins.iter().zip(&rb.bins).enumerate() {
-        let t = converge_net::SimTime::from_secs(i as u64);
-        let rate_a = scenario.paths[1].rate.rate_at(t) as f64 / 1e6;
-        let rate_b = scenario.paths[0].rate.rate_at(t) as f64 / 1e6;
-        out.push_str(&format!(
-            "{i} {rate_a:.2} {rate_b:.2} {} {} {:.0} {:.0}\n",
-            ba.frames_decoded,
-            bb.frames_decoded,
-            ba.e2e_ms().unwrap_or(0.0),
-            bb.e2e_ms().unwrap_or(0.0),
-        ));
-    }
-
-    let min_fps_a = ra.bins.iter().map(|b| b.frames_decoded).min().unwrap_or(0);
-    let min_fps_b = rb.bins.iter().map(|b| b.frames_decoded).min().unwrap_or(0);
-    out.push_str(&format!(
-        "# summary: carrierA min/avg fps = {}/{:.1}; carrierB min/avg fps = {}/{:.1}\n",
-        min_fps_a, ra.fps, min_fps_b, rb.fps
-    ));
-    out.push_str("# paper shape: FPS repeatedly collapses toward 0 and E2E spikes when\n");
-    out.push_str("# the active carrier's bandwidth dips; the dips of the two carriers\n");
-    out.push_str("# do not coincide (multipath headroom exists).\n");
-    out
+    crate::sweep::render(spec(scale))
 }
 
 #[cfg(test)]

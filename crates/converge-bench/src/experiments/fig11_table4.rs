@@ -5,121 +5,135 @@
 
 use converge_sim::{FecKind, ScenarioConfig, SchedulerKind};
 
-use crate::runner::{run_once, Cell, Scale};
+use crate::runner::{Cell, Job, Scale, ScenarioSpec};
+use crate::sweep::{ExperimentSpec, Reports};
+
+/// The ablation needs the 30–90 s dip window, so quick scale keeps a
+/// 120 s call rather than the usual 30 s.
+fn ablation_duration(scale: Scale) -> converge_net::SimDuration {
+    converge_net::SimDuration::from_secs(match scale {
+        Scale::Full => 180,
+        Scale::Quick => 120,
+    })
+}
+
+fn variant_cell(scheduler: SchedulerKind) -> Cell {
+    Cell::new(
+        ScenarioSpec::FeedbackBenefit,
+        scheduler,
+        FecKind::Converge,
+        1,
+    )
+}
+
+/// Declares Fig. 11: with- and without-feedback variants, one seed.
+pub fn spec_fig11(scale: Scale) -> ExperimentSpec {
+    let duration = ablation_duration(scale);
+    let seed = 42;
+    ExperimentSpec {
+        jobs: vec![
+            Job::new(variant_cell(SchedulerKind::Converge), duration, seed),
+            Job::new(
+                variant_cell(SchedulerKind::ConvergeNoFeedback),
+                duration,
+                seed,
+            ),
+        ],
+        fold: Box::new(move |reports| {
+            let mut r = Reports::new(reports);
+            let with_fb = r.one();
+            let without_fb = r.one();
+            let scenario = ScenarioConfig::feedback_benefit(duration, seed);
+
+            let mut out = String::new();
+            out.push_str("# Fig. 11 — QoE feedback ablation time series\n");
+            out.push_str(
+                "# columns: t_s path1_mbps path2_mbps tput_fb tput_nofb ifd_fb ifd_nofb fcd_fb fcd_nofb\n",
+            );
+            let empty = Vec::new();
+            let sent_p1 = with_fb
+                .path_series
+                .get(&converge_net::PathId(0))
+                .unwrap_or(&empty);
+            let sent_p2 = with_fb
+                .path_series
+                .get(&converge_net::PathId(1))
+                .unwrap_or(&empty);
+            for (i, (b_fb, b_no)) in with_fb.bins.iter().zip(&without_fb.bins).enumerate() {
+                let t = converge_net::SimTime::from_secs(i as u64);
+                out.push_str(&format!(
+                    "{i} {:.1} {:.1} {:.2} {:.2} {:.1} {:.1} {:.1} {:.1} {:.2} {:.2}\n",
+                    scenario.paths[0].rate.rate_at(t) as f64 / 1e6,
+                    scenario.paths[1].rate.rate_at(t) as f64 / 1e6,
+                    b_fb.throughput_bps() / 1e6,
+                    b_no.throughput_bps() / 1e6,
+                    b_fb.ifd_ms().unwrap_or(0.0),
+                    b_no.ifd_ms().unwrap_or(0.0),
+                    b_fb.fcd_ms().unwrap_or(0.0),
+                    b_no.fcd_ms().unwrap_or(0.0),
+                    sent_p1.get(i).copied().unwrap_or(0) as f64 * 8.0 / 1e6,
+                    sent_p2.get(i).copied().unwrap_or(0) as f64 * 8.0 / 1e6,
+                ));
+            }
+            out.push_str("# paper shape: without feedback, IFD exceeds the 33 ms target and FCD\n");
+            out.push_str("# grows during the 30-90 s dip, and throughput falls below 10 Mbps;\n");
+            out.push_str("# with feedback the sender sheds path 2 and the curves stay flat.\n");
+            out
+        }),
+    }
+}
 
 /// Fig. 11: path dynamics, video throughput, IFD, and FCD time series for
 /// the two variants.
 pub fn run_fig11(scale: Scale) -> String {
-    let mut out = String::new();
-    out.push_str("# Fig. 11 — QoE feedback ablation time series\n");
-    out.push_str(
-        "# columns: t_s path1_mbps path2_mbps tput_fb tput_nofb ifd_fb ifd_nofb fcd_fb fcd_nofb\n",
-    );
+    crate::sweep::render(spec_fig11(scale))
+}
 
-    // The dip window of the scenario is fixed at 30-90 s; at quick scale
-    // keep the full scenario length so the dip exists.
-    let duration = converge_net::SimDuration::from_secs(match scale {
-        Scale::Full => 180,
-        Scale::Quick => 120,
-    });
-    let seed = 42;
-    let with_fb = run_once(
-        &Cell {
-            scenario: ScenarioConfig::feedback_benefit,
-            scheduler: SchedulerKind::Converge,
-            fec: FecKind::Converge,
-            streams: 1,
-        },
-        duration,
-        seed,
-    );
-    let without_fb = run_once(
-        &Cell {
-            scenario: ScenarioConfig::feedback_benefit,
-            scheduler: SchedulerKind::ConvergeNoFeedback,
-            fec: FecKind::Converge,
-            streams: 1,
-        },
-        duration,
-        seed,
-    );
-    let scenario = ScenarioConfig::feedback_benefit(duration, seed);
-
-    let empty = Vec::new();
-    let sent_p1 = with_fb
-        .path_series
-        .get(&converge_net::PathId(0))
-        .unwrap_or(&empty);
-    let sent_p2 = with_fb
-        .path_series
-        .get(&converge_net::PathId(1))
-        .unwrap_or(&empty);
-    for (i, (b_fb, b_no)) in with_fb.bins.iter().zip(&without_fb.bins).enumerate() {
-        let t = converge_net::SimTime::from_secs(i as u64);
-        out.push_str(&format!(
-            "{i} {:.1} {:.1} {:.2} {:.2} {:.1} {:.1} {:.1} {:.1} {:.2} {:.2}\n",
-            scenario.paths[0].rate.rate_at(t) as f64 / 1e6,
-            scenario.paths[1].rate.rate_at(t) as f64 / 1e6,
-            b_fb.throughput_bps() / 1e6,
-            b_no.throughput_bps() / 1e6,
-            b_fb.ifd_ms().unwrap_or(0.0),
-            b_no.ifd_ms().unwrap_or(0.0),
-            b_fb.fcd_ms().unwrap_or(0.0),
-            b_no.fcd_ms().unwrap_or(0.0),
-            sent_p1.get(i).copied().unwrap_or(0) as f64 * 8.0 / 1e6,
-            sent_p2.get(i).copied().unwrap_or(0) as f64 * 8.0 / 1e6,
-        ));
+/// Declares Table 4: the same two variants, same seed — the sweep engine's
+/// cell cache means these jobs are free when Fig. 11 already ran.
+pub fn spec_table4(scale: Scale) -> ExperimentSpec {
+    let duration = ablation_duration(scale);
+    let variants = [
+        ("with-feedback", SchedulerKind::Converge),
+        ("without-feedback", SchedulerKind::ConvergeNoFeedback),
+    ];
+    ExperimentSpec {
+        jobs: variants
+            .iter()
+            .map(|&(_, scheduler)| Job::new(variant_cell(scheduler), duration, 42))
+            .collect(),
+        fold: Box::new(move |reports| {
+            let mut r = Reports::new(reports);
+            let mut out = String::new();
+            out.push_str("# Table 4 — Converge with vs without QoE feedback\n");
+            out.push_str(&format!(
+                "{:<18} {:>12} {:>16} {:>14}\n",
+                "variant", "frame_drops", "freeze_ms", "kf_requests"
+            ));
+            for (label, _) in variants {
+                let rep = r.one();
+                out.push_str(&format!(
+                    "{:<18} {:>12} {:>16.0} {:>14}\n",
+                    label, rep.frames_dropped, rep.freeze_total_ms, rep.keyframe_requests
+                ));
+            }
+            out.push_str("# paper shape: feedback cuts frame drops ~10x, freezes ~70%, and\n");
+            out.push_str("# keyframe requests ~90%.\n");
+            out
+        }),
     }
-    out.push_str("# paper shape: without feedback, IFD exceeds the 33 ms target and FCD\n");
-    out.push_str("# grows during the 30-90 s dip, and throughput falls below 10 Mbps;\n");
-    out.push_str("# with feedback the sender sheds path 2 and the curves stay flat.\n");
-    out
 }
 
 /// Table 4: frame drops, freeze duration, keyframe requests with vs
 /// without feedback.
 pub fn run_table4(scale: Scale) -> String {
-    let duration = converge_net::SimDuration::from_secs(match scale {
-        Scale::Full => 180,
-        Scale::Quick => 120,
-    });
-    let mut rows = Vec::new();
-    for (label, scheduler) in [
-        ("with-feedback", SchedulerKind::Converge),
-        ("without-feedback", SchedulerKind::ConvergeNoFeedback),
-    ] {
-        let r = run_once(
-            &Cell {
-                scenario: ScenarioConfig::feedback_benefit,
-                scheduler,
-                fec: FecKind::Converge,
-                streams: 1,
-            },
-            duration,
-            42,
-        );
-        rows.push((label, r));
-    }
-    let mut out = String::new();
-    out.push_str("# Table 4 — Converge with vs without QoE feedback\n");
-    out.push_str(&format!(
-        "{:<18} {:>12} {:>16} {:>14}\n",
-        "variant", "frame_drops", "freeze_ms", "kf_requests"
-    ));
-    for (label, r) in &rows {
-        out.push_str(&format!(
-            "{:<18} {:>12} {:>16.0} {:>14}\n",
-            label, r.frames_dropped, r.freeze_total_ms, r.keyframe_requests
-        ));
-    }
-    out.push_str("# paper shape: feedback cuts frame drops ~10x, freezes ~70%, and\n");
-    out.push_str("# keyframe requests ~90%.\n");
-    out
+    crate::sweep::render(spec_table4(scale))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_once;
 
     /// Seconds inside the dip (35–90 s, past the unavoidable onset
     /// transient) in which the frame rate degraded below 25 fps.
@@ -138,18 +152,7 @@ mod tests {
         // is chaotic run-to-run, so the assertion averages seeds and looks
         // at the steady mid-dip window where the mechanism matters.
         let duration = converge_net::SimDuration::from_secs(120);
-        let run = |scheduler, seed| {
-            run_once(
-                &Cell {
-                    scenario: ScenarioConfig::feedback_benefit,
-                    scheduler,
-                    fec: FecKind::Converge,
-                    streams: 1,
-                },
-                duration,
-                seed,
-            )
-        };
+        let run = |scheduler, seed| run_once(&variant_cell(scheduler), duration, seed);
         let mut fb_bad = 0usize;
         let mut nofb_bad = 0usize;
         let mut fb_fps = 0.0f64;

@@ -2,9 +2,10 @@
 //! scenario: QoE bars (throughput/FPS/stall/QP), FEC overhead and
 //! utilization, the E2E latency CDF, and the PSNR CDF.
 
-use converge_sim::{FecKind, ScenarioConfig, SchedulerKind};
+use converge_sim::{FecKind, SchedulerKind};
 
-use crate::runner::{metric, pm, run_once, run_seeds, Cell, Scale};
+use crate::runner::{metric, pm, Cell, Job, Scale, ScenarioSpec};
+use crate::sweep::{ExperimentSpec, Reports};
 
 /// The full system roster of Fig. 14 (single-path, CM, multipath variants,
 /// Converge).
@@ -32,107 +33,148 @@ pub fn systems() -> Vec<(&'static str, SchedulerKind, FecKind)> {
     ]
 }
 
+fn roster_cell(scheduler: SchedulerKind, fec: FecKind) -> Cell {
+    Cell::new(ScenarioSpec::Driving, scheduler, fec, 1)
+}
+
+/// Declares Fig. 14a–b: every system over every seed of the scale.
+pub fn spec_fig14(scale: Scale) -> ExperimentSpec {
+    let mut jobs = Vec::new();
+    for (_, scheduler, fec) in systems() {
+        for &seed in scale.seeds() {
+            jobs.push(Job::new(
+                roster_cell(scheduler, fec),
+                scale.duration(),
+                seed,
+            ));
+        }
+    }
+    ExperimentSpec {
+        jobs,
+        fold: Box::new(move |reports| {
+            let mut r = Reports::new(reports);
+            let mut out = String::new();
+            out.push_str("# Fig. 14 — driving comparison vs existing solutions\n");
+            out.push_str(&format!(
+                "{:<12} {:>12} {:>10} {:>12} {:>10} {:>12} {:>12} {:>10}\n",
+                "system",
+                "norm_tput",
+                "norm_fps",
+                "avg_stall_ms",
+                "norm_qp",
+                "fec_ovh_%",
+                "fec_util_%",
+                "e2e_ms"
+            ));
+            for (label, _, _) in systems() {
+                let reports = r.take(scale.seeds().len());
+                out.push_str(&format!(
+                    "{:<12} {:>12} {:>10} {:>12} {:>10} {:>12} {:>12} {:>10}\n",
+                    label,
+                    pm(&metric(reports, |r| r.normalized_throughput()), 2),
+                    pm(&metric(reports, |r| r.normalized_fps()), 2),
+                    pm(&metric(reports, |r| r.avg_freeze_ms()), 0),
+                    pm(&metric(reports, |r| r.normalized_qp()), 2),
+                    pm(&metric(reports, |r| r.fec_overhead_pct()), 1),
+                    pm(&metric(reports, |r| r.fec_utilization_pct()), 1),
+                    pm(&metric(reports, |r| r.e2e_mean_ms), 0),
+                ));
+            }
+            out.push_str("# paper shape: Converge has the highest delivered share, the least\n");
+            out.push_str("# FEC overhead at the best utilization, and the lowest E2E latency.\n");
+            out
+        }),
+    }
+}
+
 /// Fig. 14a–b: QoE metrics and FEC behaviour per system.
 pub fn run_fig14(scale: Scale) -> String {
-    let mut out = String::new();
-    out.push_str("# Fig. 14 — driving comparison vs existing solutions\n");
-    out.push_str(&format!(
-        "{:<12} {:>12} {:>10} {:>12} {:>10} {:>12} {:>12} {:>10}\n",
-        "system",
-        "norm_tput",
-        "norm_fps",
-        "avg_stall_ms",
-        "norm_qp",
-        "fec_ovh_%",
-        "fec_util_%",
-        "e2e_ms"
-    ));
-    for (label, scheduler, fec) in systems() {
-        let cell = Cell {
-            scenario: ScenarioConfig::driving,
-            scheduler,
-            fec,
-            streams: 1,
-        };
-        let reports = run_seeds(&cell, scale);
-        out.push_str(&format!(
-            "{:<12} {:>12} {:>10} {:>12} {:>10} {:>12} {:>12} {:>10}\n",
-            label,
-            pm(&metric(&reports, |r| r.normalized_throughput()), 2),
-            pm(&metric(&reports, |r| r.normalized_fps()), 2),
-            pm(&metric(&reports, |r| r.avg_freeze_ms()), 0),
-            pm(&metric(&reports, |r| r.normalized_qp()), 2),
-            pm(&metric(&reports, |r| r.fec_overhead_pct()), 1),
-            pm(&metric(&reports, |r| r.fec_utilization_pct()), 1),
-            pm(&metric(&reports, |r| r.e2e_mean_ms), 0),
-        ));
+    crate::sweep::render(spec_fig14(scale))
+}
+
+/// Declares Fig. 14c: one seed-42 call per system.
+pub fn spec_fig14c(scale: Scale) -> ExperimentSpec {
+    let jobs = systems()
+        .into_iter()
+        .map(|(_, scheduler, fec)| Job::new(roster_cell(scheduler, fec), scale.duration(), 42))
+        .collect();
+    ExperimentSpec {
+        jobs,
+        fold: Box::new(move |reports| {
+            let mut r = Reports::new(reports);
+            let mut out = String::new();
+            out.push_str("# Fig. 14c — E2E latency CDF (driving, 1 stream)\n");
+            out.push_str("# columns: system p10 p25 p50 p75 p90 p99 (ms)\n");
+            for (label, _, _) in systems() {
+                let rep = r.one();
+                let qs = crate::stats::quantiles(
+                    &rep.e2e_samples_ms,
+                    &[0.10, 0.25, 0.50, 0.75, 0.90, 0.99],
+                );
+                out.push_str(&format!(
+                    "{label} {:.0} {:.0} {:.0} {:.0} {:.0} {:.0}\n",
+                    qs[0], qs[1], qs[2], qs[3], qs[4], qs[5]
+                ));
+            }
+            out
+        }),
     }
-    out.push_str("# paper shape: Converge has the highest delivered share, the least\n");
-    out.push_str("# FEC overhead at the best utilization, and the lowest E2E latency.\n");
-    out
 }
 
 /// Fig. 14c: the E2E latency CDF per system.
 pub fn run_fig14c(scale: Scale) -> String {
-    let mut out = String::new();
-    out.push_str("# Fig. 14c — E2E latency CDF (driving, 1 stream)\n");
-    out.push_str("# columns: system p10 p25 p50 p75 p90 p99 (ms)\n");
-    for (label, scheduler, fec) in systems() {
-        let cell = Cell {
-            scenario: ScenarioConfig::driving,
-            scheduler,
-            fec,
-            streams: 1,
-        };
-        let r = run_once(&cell, scale.duration(), 42);
-        let qs = crate::stats::quantiles(&r.e2e_samples_ms, &[0.10, 0.25, 0.50, 0.75, 0.90, 0.99]);
-        out.push_str(&format!(
-            "{label} {:.0} {:.0} {:.0} {:.0} {:.0} {:.0}\n",
-            qs[0], qs[1], qs[2], qs[3], qs[4], qs[5]
-        ));
+    crate::sweep::render(spec_fig14c(scale))
+}
+
+/// Declares Fig. 15: every system over every seed (same cells as Fig. 14,
+/// so a combined sweep simulates them only once).
+pub fn spec_fig15(scale: Scale) -> ExperimentSpec {
+    let mut jobs = Vec::new();
+    for (_, scheduler, fec) in systems() {
+        for &seed in scale.seeds() {
+            jobs.push(Job::new(
+                roster_cell(scheduler, fec),
+                scale.duration(),
+                seed,
+            ));
+        }
     }
-    out
+    ExperimentSpec {
+        jobs,
+        fold: Box::new(move |reports| {
+            let mut r = Reports::new(reports);
+            let mut out = String::new();
+            out.push_str("# Fig. 15 — PSNR (dB), single camera stream, driving\n");
+            out.push_str(&format!("{:<12} {:>14}\n", "system", "psnr_db"));
+            for (label, _, _) in systems() {
+                let reports = r.take(scale.seeds().len());
+                out.push_str(&format!(
+                    "{:<12} {:>14}\n",
+                    label,
+                    pm(&metric(reports, |r| r.psnr_db), 1)
+                ));
+            }
+            out.push_str("# paper shape: Converge's PSNR distribution dominates every other\n");
+            out.push_str("# system's.\n");
+            out
+        }),
+    }
 }
 
 /// Fig. 15: the PSNR comparison per system (single camera stream).
 pub fn run_fig15(scale: Scale) -> String {
-    let mut out = String::new();
-    out.push_str("# Fig. 15 — PSNR (dB), single camera stream, driving\n");
-    out.push_str(&format!("{:<12} {:>14}\n", "system", "psnr_db"));
-    for (label, scheduler, fec) in systems() {
-        let cell = Cell {
-            scenario: ScenarioConfig::driving,
-            scheduler,
-            fec,
-            streams: 1,
-        };
-        let reports = run_seeds(&cell, scale);
-        out.push_str(&format!(
-            "{:<12} {:>14}\n",
-            label,
-            pm(&metric(&reports, |r| r.psnr_db), 1)
-        ));
-    }
-    out.push_str("# paper shape: Converge's PSNR distribution dominates every other\n");
-    out.push_str("# system's.\n");
-    out
+    crate::sweep::render(spec_fig15(scale))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::mean_std;
+    use crate::runner::{mean_std, run_seeds};
 
     #[test]
     fn converge_has_best_psnr_of_multipath_systems() {
         let run = |scheduler, fec| {
-            let cell = Cell {
-                scenario: ScenarioConfig::driving,
-                scheduler,
-                fec,
-                streams: 1,
-            };
-            let rs = run_seeds(&cell, Scale::Quick);
+            let rs = run_seeds(&roster_cell(scheduler, fec), Scale::Quick);
             mean_std(&metric(&rs, |r| r.psnr_db)).0
         };
         let conv = run(SchedulerKind::Converge, FecKind::Converge);

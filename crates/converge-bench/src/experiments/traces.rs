@@ -4,10 +4,25 @@
 use converge_net::{trace, Carrier, Scenario, SimTime};
 
 use crate::runner::Scale;
+use crate::sweep::ExperimentSpec;
+
+/// Declares the trace regeneration as a zero-job experiment: synthesis is
+/// cheap and deterministic, so there is nothing to farm out to the pool —
+/// the fold does all the work.
+pub fn spec(scale: Scale) -> ExperimentSpec {
+    ExperimentSpec {
+        jobs: Vec::new(),
+        fold: Box::new(move |_reports| render_traces(scale)),
+    }
+}
 
 /// Regenerates the bandwidth-dynamics plots: one series per carrier per
 /// scenario, sampled at 1 Hz, with summary statistics.
 pub fn run(scale: Scale) -> String {
+    crate::sweep::render(spec(scale))
+}
+
+fn render_traces(scale: Scale) -> String {
     let duration = scale.duration();
     let mut out = String::new();
     out.push_str("# Figs. 20-22 — scenario bandwidth dynamics\n");

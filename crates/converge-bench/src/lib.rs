@@ -6,12 +6,16 @@
 //! Run everything:
 //!
 //! ```text
-//! cargo run --release -p converge-bench --bin experiments -- all
+//! cargo run --release -p converge-bench --bin experiments -- all --jobs 8
 //! ```
 //!
 //! or a single experiment (`fig3`, `table5`, ...); add `--quick` for short
-//! smoke runs. Criterion micro-benches for the hot paths live in
-//! `benches/`.
+//! smoke runs, `--jobs N` to size the work-stealing pool, and
+//! `--bench-json PATH` for a machine-readable sweep report. Experiments
+//! declare `Cell × seed` jobs; the sweep engine ([`sweep`]) dedups them by
+//! canonical fingerprint, executes each unique job once on the pool, and
+//! memoizes reports in a process-wide cache. Criterion micro-benches for
+//! the hot paths live in `benches/`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,6 +23,8 @@
 pub mod experiments;
 pub mod runner;
 pub mod stats;
+pub mod sweep;
 
-pub use runner::{mean_std, metric, pm, run_once, run_seeds, Cell, Scale};
+pub use runner::{mean_std, metric, pm, run_once, run_seeds, Cell, Job, Scale, ScenarioSpec};
 pub use stats::{cdf, quantile, quantiles};
+pub use sweep::{render, run_sweep, CellCache, ExperimentSpec, Reports, SweepStats};

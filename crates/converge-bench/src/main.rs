@@ -1,36 +1,126 @@
-//! The `experiments` binary: regenerates the paper's tables and figures.
+//! The `experiments` binary: regenerates the paper's tables and figures by
+//! handing every selected experiment to the work-stealing sweep engine.
+//!
+//! Usage: `experiments <id>|all [--quick] [--jobs N] [--bench-json PATH]`
+//!
+//! Reports go to stdout in registry order and are byte-identical for any
+//! `--jobs` value; progress, timing, and the sweep summary go to stderr.
 
 use converge_bench::experiments::registry;
-use converge_bench::Scale;
+use converge_bench::{run_sweep, CellCache, Scale};
+
+struct Cli {
+    scale: Scale,
+    jobs: usize,
+    bench_json: Option<String>,
+    targets: Vec<String>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli {
+        scale: Scale::Full,
+        jobs: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        bench_json: None,
+        targets: Vec::new(),
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--quick" {
+            cli.scale = Scale::Quick;
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            cli.jobs = v.parse().map_err(|_| format!("bad --jobs value {v:?}"))?;
+        } else if arg == "--jobs" {
+            let v = it.next().ok_or("--jobs needs a value")?;
+            cli.jobs = v.parse().map_err(|_| format!("bad --jobs value {v:?}"))?;
+        } else if let Some(v) = arg.strip_prefix("--bench-json=") {
+            cli.bench_json = Some(v.to_string());
+        } else if arg == "--bench-json" {
+            cli.bench_json = Some(it.next().ok_or("--bench-json needs a path")?);
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg:?}"));
+        } else {
+            cli.targets.push(arg);
+        }
+    }
+    if cli.jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    Ok(cli)
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
-    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
 
     let registry = registry();
-    if targets.is_empty() || targets.iter().any(|t| t == "list") {
-        eprintln!("usage: experiments <id>|all [--quick]\n\navailable experiments:");
-        for (id, desc, _) in &registry {
-            eprintln!("  {id:<8} {desc}");
+    if cli.targets.is_empty() || cli.targets.iter().any(|t| t == "list") {
+        eprintln!(
+            "usage: experiments <id>|all [--quick] [--jobs N] [--bench-json PATH]\n\navailable experiments:"
+        );
+        for def in &registry {
+            let alias = if def.aliases.is_empty() {
+                String::new()
+            } else {
+                format!(" (also: {})", def.aliases.join(", "))
+            };
+            eprintln!("  {:<12} {}{alias}", def.id, def.desc);
         }
         return;
     }
 
-    let run_all = targets.iter().any(|t| t == "all");
-    let mut seen = std::collections::HashSet::new();
-    for (id, desc, runner) in &registry {
-        if run_all || targets.iter().any(|t| t == id) {
-            // fig3/table1 share a runner; print once under a joint header.
-            if !seen.insert(*runner as usize) {
-                continue;
+    let run_all = cli.targets.iter().any(|t| t == "all");
+    if !run_all {
+        for target in &cli.targets {
+            if !registry.iter().any(|def| def.matches(target)) {
+                eprintln!("error: unknown experiment {target:?} (try `experiments list`)");
+                std::process::exit(2);
             }
-            eprintln!(">> {id}: {desc} ({scale:?})");
-            let started = std::time::Instant::now();
-            let output = runner(scale);
-            println!("{output}");
-            eprintln!("   done in {:.1}s\n", started.elapsed().as_secs_f64());
         }
+    }
+    let selected: Vec<_> = registry
+        .iter()
+        .filter(|def| run_all || cli.targets.iter().any(|t| def.matches(t)))
+        .collect();
+
+    let scale = cli.scale;
+    eprintln!(
+        ">> sweeping {} experiment(s) at {scale:?} scale on {} worker(s)",
+        selected.len(),
+        cli.jobs
+    );
+    let specs: Vec<_> = selected
+        .iter()
+        .map(|def| (def.id.to_string(), (def.spec)(scale)))
+        .collect();
+    let (outputs, stats) = run_sweep(specs, scale, cli.jobs, CellCache::global());
+
+    for ((id, output), def) in outputs.iter().zip(&selected) {
+        eprintln!(">> {id}: {}", def.desc);
+        println!("{output}");
+    }
+    eprintln!("   {}", stats.summary());
+
+    if let Some(path) = &cli.bench_json {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: creating {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, stats.to_json()) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("   bench report written to {path}");
     }
 }

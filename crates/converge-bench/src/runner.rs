@@ -1,20 +1,191 @@
-//! Shared experiment machinery: repeated seeded runs, aggregation, and
-//! parallel sweeps.
+//! Shared experiment machinery: declarative experiment cells, the jobs the
+//! sweep engine executes, and the seeded-run helpers used by tests.
+//!
+//! A [`Cell`] is a fully declarative description of one experiment point
+//! (scenario × scheduler × FEC × streams × CC coupling); a [`Job`] pins it
+//! to a concrete duration and seed. Because the simulator is a pure
+//! function of its configuration and seed, equal jobs produce identical
+//! [`CallReport`]s — which is what lets the sweep engine
+//! ([`crate::sweep`]) fingerprint, dedup, and memoize them.
 
-use converge_net::SimDuration;
+use converge_net::{QueueDiscipline, RateTrace, SimDuration};
 use converge_sim::{CallReport, FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig};
 
-/// One experiment cell: a scenario × system × stream-count combination.
-#[derive(Clone)]
+pub use crate::stats::{mean_std, metric, pm};
+use crate::sweep::CellCache;
+
+/// Declarative scenario selector: a canonical, hashable description of the
+/// network setup. Replaces the old `fn(SimDuration, u64) -> ScenarioConfig`
+/// pointer so cells can be fingerprinted and memoized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioSpec {
+    /// §6.1 walking: WiFi + "T-Mobile"-like cellular.
+    Walking,
+    /// §6.1 driving: two cellular carriers.
+    Driving,
+    /// Appendix A stationary: stable WiFi + cellular.
+    Stationary,
+    /// Fig. 11 path-collapse scenario (path 2 dips between 30 s and 90 s).
+    FeedbackBenefit,
+    /// Figs. 12/13 and Table 5: two 15 Mbps / 100 ms RTT paths with random
+    /// loss, stored in milli-percent so the cell stays hashable
+    /// (`3_000` = 3 % loss).
+    FecTradeoff {
+        /// Loss rate in thousandths of a percent.
+        loss_milli_pct: u32,
+    },
+    /// The AQM ablation's network: two constant 10 Mbps / 40 ms paths
+    /// under either drop-tail or CoDel.
+    AqmTuned {
+        /// Run CoDel instead of drop-tail at the bottleneck.
+        codel: bool,
+    },
+}
+
+impl ScenarioSpec {
+    /// `FecTradeoff` from a percent loss rate (e.g. `3.0` for 3 %).
+    pub fn fec_tradeoff_pct(loss_pct: f64) -> Self {
+        ScenarioSpec::FecTradeoff {
+            loss_milli_pct: (loss_pct * 1_000.0).round() as u32,
+        }
+    }
+
+    /// Canonical identifier used in job fingerprints.
+    pub fn id(self) -> String {
+        match self {
+            ScenarioSpec::Walking => "walking".into(),
+            ScenarioSpec::Driving => "driving".into(),
+            ScenarioSpec::Stationary => "stationary".into(),
+            ScenarioSpec::FeedbackBenefit => "feedback-benefit".into(),
+            ScenarioSpec::FecTradeoff { loss_milli_pct } => {
+                format!("fec-tradeoff-{loss_milli_pct}mpct")
+            }
+            ScenarioSpec::AqmTuned { codel } => {
+                format!("aqm-{}", if codel { "codel" } else { "drop-tail" })
+            }
+        }
+    }
+
+    /// Builds the concrete scenario for a `(duration, seed)`.
+    pub fn build(self, duration: SimDuration, seed: u64) -> ScenarioConfig {
+        match self {
+            ScenarioSpec::Walking => ScenarioConfig::walking(duration, seed),
+            ScenarioSpec::Driving => ScenarioConfig::driving(duration, seed),
+            ScenarioSpec::Stationary => ScenarioConfig::stationary(duration, seed),
+            ScenarioSpec::FeedbackBenefit => ScenarioConfig::feedback_benefit(duration, seed),
+            ScenarioSpec::FecTradeoff { loss_milli_pct } => {
+                ScenarioConfig::fec_tradeoff(loss_milli_pct as f64 / 1_000.0)
+            }
+            ScenarioSpec::AqmTuned { codel } => {
+                let discipline = if codel {
+                    QueueDiscipline::codel_default()
+                } else {
+                    QueueDiscipline::DropTail
+                };
+                let mut scenario = ScenarioConfig::fec_tradeoff(0.0);
+                for p in &mut scenario.paths {
+                    p.rate = RateTrace::constant(10_000_000);
+                    p.propagation = SimDuration::from_millis(40);
+                    p.discipline = discipline.clone();
+                }
+                scenario
+            }
+        }
+    }
+}
+
+/// One experiment cell: a scenario × system × stream-count combination
+/// (plus the CC-coupling knob of the coupling ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Cell {
-    /// Builds the scenario for a given (duration, seed).
-    pub scenario: fn(SimDuration, u64) -> ScenarioConfig,
+    /// Network scenario.
+    pub scenario: ScenarioSpec,
     /// Scheduler under test.
     pub scheduler: SchedulerKind,
     /// FEC policy under test.
     pub fec: FecKind,
     /// Camera streams.
     pub streams: u8,
+    /// LIA-style coupled congestion control (the coupling ablation);
+    /// `false` everywhere else, matching the paper.
+    pub coupled_cc: bool,
+}
+
+impl Cell {
+    /// A cell with the paper's default (uncoupled) congestion control.
+    pub fn new(
+        scenario: ScenarioSpec,
+        scheduler: SchedulerKind,
+        fec: FecKind,
+        streams: u8,
+    ) -> Self {
+        Cell {
+            scenario,
+            scheduler,
+            fec,
+            streams,
+            coupled_cc: false,
+        }
+    }
+}
+
+/// A unit of sweep work: one [`Cell`] at a concrete duration and seed.
+/// The `Job` value itself is the canonical cell fingerprint the memo cache
+/// keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// The cell.
+    pub cell: Cell,
+    /// Call duration.
+    pub duration: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Job {
+    /// Pins a cell to a duration and seed.
+    pub fn new(cell: Cell, duration: SimDuration, seed: u64) -> Self {
+        Job {
+            cell,
+            duration,
+            seed,
+        }
+    }
+
+    /// The canonical fingerprint (scenario, scheduler, FEC, streams,
+    /// coupling, duration, seed) rendered as text for logs.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}|{:?}|{:?}|s{}|cc{}|d{}us|seed{}",
+            self.cell.scenario.id(),
+            self.cell.scheduler,
+            self.cell.fec,
+            self.cell.streams,
+            self.cell.coupled_cc as u8,
+            self.duration.as_micros(),
+            self.seed
+        )
+    }
+
+    /// Simulated call seconds this job covers.
+    pub fn sim_seconds(&self) -> f64 {
+        self.duration.as_secs_f64()
+    }
+
+    /// Runs the simulation for this job, bypassing the memo cache.
+    pub fn run_uncached(&self) -> CallReport {
+        let scenario = self.cell.scenario.build(self.duration, self.seed);
+        let mut config = SessionConfig::paper_default(
+            scenario,
+            self.cell.scheduler,
+            self.cell.fec,
+            self.cell.streams,
+            self.duration,
+            self.seed,
+        );
+        config.coupled_cc = self.cell.coupled_cc;
+        Session::new(config).run()
+    }
 }
 
 /// Experiment scale: full reproduces the paper's 3-minute calls; quick is
@@ -45,22 +216,17 @@ impl Scale {
     }
 }
 
-/// Runs one cell once.
+/// Runs one cell once, through the process-wide memo cache: repeated runs
+/// of the same fingerprint are simulated only once per process.
 pub fn run_once(cell: &Cell, duration: SimDuration, seed: u64) -> CallReport {
-    let scenario = (cell.scenario)(duration, seed);
-    let config = SessionConfig::paper_default(
-        scenario,
-        cell.scheduler,
-        cell.fec,
-        cell.streams,
-        duration,
-        seed,
-    );
-    Session::new(config).run()
+    CellCache::global()
+        .get_or_run(&Job::new(*cell, duration, seed))
+        .report
+        .clone()
 }
 
-/// Runs one cell over every seed of the scale, in parallel, returning every
-/// report.
+/// Runs one cell over every seed of the scale, in parallel, returning the
+/// reports in seed order. Results are memoized in the process-wide cache.
 pub fn run_seeds(cell: &Cell, scale: Scale) -> Vec<CallReport> {
     let duration = scale.duration();
     let seeds = scale.seeds();
@@ -68,8 +234,8 @@ pub fn run_seeds(cell: &Cell, scale: Scale) -> Vec<CallReport> {
         let handles: Vec<_> = seeds
             .iter()
             .map(|&seed| {
-                let cell = cell.clone();
-                s.spawn(move |_| run_once(&cell, duration, seed))
+                let job = Job::new(*cell, duration, seed);
+                s.spawn(move |_| CellCache::global().get_or_run(&job).report.clone())
             })
             .collect();
         handles
@@ -80,69 +246,30 @@ pub fn run_seeds(cell: &Cell, scale: Scale) -> Vec<CallReport> {
     .expect("scope")
 }
 
-/// Mean and sample standard deviation of a series.
-pub fn mean_std(values: &[f64]) -> (f64, f64) {
-    if values.is_empty() {
-        return (0.0, 0.0);
-    }
-    let n = values.len() as f64;
-    let mean = values.iter().sum::<f64>() / n;
-    if values.len() < 2 {
-        return (mean, 0.0);
-    }
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
-    (mean, var.sqrt())
-}
-
-/// Formats `mean ± std` compactly.
-pub fn pm(values: &[f64], decimals: usize) -> String {
-    let (m, s) = mean_std(values);
-    format!("{m:.decimals$} ± {s:.decimals$}")
-}
-
-/// Extracts a metric from each report.
-pub fn metric(reports: &[CallReport], f: impl Fn(&CallReport) -> f64) -> Vec<f64> {
-    reports.iter().map(f).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn mean_std_basics() {
-        let (m, s) = mean_std(&[2.0, 4.0, 6.0]);
-        assert_eq!(m, 4.0);
-        assert!((s - 2.0).abs() < 1e-12);
-        assert_eq!(mean_std(&[]), (0.0, 0.0));
-        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
-    }
-
-    #[test]
-    fn pm_formats() {
-        assert_eq!(pm(&[1.0, 3.0], 1), "2.0 ± 1.4");
-    }
-
-    #[test]
     fn quick_scale_runs() {
-        let cell = Cell {
-            scenario: |_, _| ScenarioConfig::fec_tradeoff(0.0),
-            scheduler: SchedulerKind::Converge,
-            fec: FecKind::Converge,
-            streams: 1,
-        };
+        let cell = Cell::new(
+            ScenarioSpec::fec_tradeoff_pct(0.0),
+            SchedulerKind::Converge,
+            FecKind::Converge,
+            1,
+        );
         let report = run_once(&cell, SimDuration::from_secs(5), 1);
         assert!(report.frames_decoded > 0);
     }
 
     #[test]
     fn run_seeds_parallel() {
-        let cell = Cell {
-            scenario: |_, _| ScenarioConfig::fec_tradeoff(0.0),
-            scheduler: SchedulerKind::Converge,
-            fec: FecKind::Converge,
-            streams: 1,
-        };
+        let cell = Cell::new(
+            ScenarioSpec::fec_tradeoff_pct(0.0),
+            SchedulerKind::Converge,
+            FecKind::Converge,
+            1,
+        );
         // Abbreviated: 2 seeds at quick scale.
         let reports = crossbeam::thread::scope(|s| {
             let h1 = s.spawn(|_| run_once(&cell, SimDuration::from_secs(5), 1));
@@ -152,5 +279,47 @@ mod tests {
         .unwrap();
         assert!(reports.0.frames_decoded > 0);
         assert!(reports.1.frames_decoded > 0);
+    }
+
+    #[test]
+    fn scenario_specs_build_and_fingerprint() {
+        let d = SimDuration::from_secs(10);
+        for spec in [
+            ScenarioSpec::Walking,
+            ScenarioSpec::Driving,
+            ScenarioSpec::Stationary,
+            ScenarioSpec::FeedbackBenefit,
+            ScenarioSpec::fec_tradeoff_pct(3.0),
+            ScenarioSpec::AqmTuned { codel: true },
+        ] {
+            let scenario = spec.build(d, 1);
+            assert_eq!(scenario.paths.len(), 2, "{}", spec.id());
+            assert!(!spec.id().is_empty());
+        }
+        // Milli-percent preserves the sweep's fractional loss rates exactly.
+        assert_eq!(
+            ScenarioSpec::fec_tradeoff_pct(3.0),
+            ScenarioSpec::FecTradeoff {
+                loss_milli_pct: 3_000
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_jobs_have_distinct_fingerprints() {
+        let cell = Cell::new(
+            ScenarioSpec::Driving,
+            SchedulerKind::Converge,
+            FecKind::Converge,
+            1,
+        );
+        let d = SimDuration::from_secs(30);
+        let a = Job::new(cell, d, 11);
+        let b = Job::new(cell, d, 42);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), Job::new(cell, d, 11).fingerprint());
+        let mut coupled = cell;
+        coupled.coupled_cc = true;
+        assert_ne!(Job::new(coupled, d, 11).fingerprint(), a.fingerprint());
     }
 }

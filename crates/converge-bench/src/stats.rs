@@ -1,6 +1,33 @@
-//! Small statistics helpers for experiment reporting: quantiles and CDF
-//! tables for the distribution-style figures (e.g. the paper's E2E and
-//! PSNR CDFs).
+//! Small statistics helpers for experiment reporting: seed aggregation
+//! (mean ± std), metric extraction, and quantile/CDF tables for the
+//! distribution-style figures (e.g. the paper's E2E and PSNR CDFs).
+
+use converge_sim::CallReport;
+
+/// Mean and sample standard deviation of a series.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Formats `mean ± std` compactly.
+pub fn pm(values: &[f64], decimals: usize) -> String {
+    let (m, s) = mean_std(values);
+    format!("{m:.decimals$} ± {s:.decimals$}")
+}
+
+/// Extracts a metric from each report.
+pub fn metric(reports: &[CallReport], f: impl Fn(&CallReport) -> f64) -> Vec<f64> {
+    reports.iter().map(f).collect()
+}
 
 /// A quantile of `values` using the nearest-rank method on a sorted copy.
 /// `q` is in `[0, 1]`. Returns 0.0 for an empty slice.
@@ -52,6 +79,20 @@ pub fn cdf(values: &[f64], max_points: usize) -> Vec<(f64, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 6.0]);
+        assert_eq!(m, 4.0);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+    }
+
+    #[test]
+    fn pm_formats() {
+        assert_eq!(pm(&[1.0, 3.0], 1), "2.0 ± 1.4");
+    }
 
     #[test]
     fn quantile_of_known_series() {

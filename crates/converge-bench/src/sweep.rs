@@ -1,0 +1,521 @@
+//! The work-stealing sweep engine and memoized cell cache.
+//!
+//! Experiments declare their work as a flat, ordered list of [`Job`]s plus
+//! a fold that renders the jobs' reports into the printable table
+//! ([`ExperimentSpec`]); the engine owns execution. [`run_sweep`] flattens
+//! every selected experiment into one global job pool, dedups jobs by
+//! their canonical fingerprint, executes the unique ones on a fixed-size
+//! work-stealing thread pool (crossbeam deques fed from a shared
+//! injector), and folds each experiment from reports fetched in
+//! declaration order — so the report text is byte-identical no matter how
+//! many workers run or in which order jobs finish.
+//!
+//! The [`CellCache`] memoizes `Job → CallReport` for the whole process:
+//! any cell shared between experiments (fig3/table1, the ablations, the
+//! FEC-tradeoff family) is simulated exactly once.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use converge_sim::CallReport;
+
+use crate::runner::{Job, Scale};
+
+/// One memoized simulation: the report plus its execution cost.
+#[derive(Debug)]
+pub struct CachedRun {
+    /// The simulation's final report.
+    pub report: CallReport,
+    /// Wall-clock seconds the simulation took to execute.
+    pub exec_s: f64,
+}
+
+/// A concurrent memo cache of `Job → CallReport`, keyed by the canonical
+/// cell fingerprint (the [`Job`] value: scenario, scheduler, FEC, streams,
+/// coupling, duration, seed). The simulator is fully seeded, so equal jobs
+/// are interchangeable and each is executed at most once; concurrent
+/// requests for the same job block until the single execution finishes.
+#[derive(Debug, Default)]
+pub struct CellCache {
+    entries: Mutex<HashMap<Job, Arc<OnceLock<Arc<CachedRun>>>>>,
+    hits: AtomicU64,
+    executed: AtomicU64,
+}
+
+impl CellCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CellCache::default()
+    }
+
+    /// The process-wide cache shared by [`crate::runner::run_once`],
+    /// [`crate::runner::run_seeds`], and the `experiments` binary.
+    pub fn global() -> &'static CellCache {
+        static GLOBAL: OnceLock<CellCache> = OnceLock::new();
+        GLOBAL.get_or_init(CellCache::new)
+    }
+
+    /// Whether the job's result is already memoized.
+    pub fn contains(&self, job: &Job) -> bool {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .get(job)
+            .is_some_and(|entry| entry.get().is_some())
+    }
+
+    /// Returns the memoized run for `job`, simulating it first if this is
+    /// the first request for its fingerprint.
+    pub fn get_or_run(&self, job: &Job) -> Arc<CachedRun> {
+        let entry = {
+            let mut map = self.entries.lock().expect("cache lock");
+            map.entry(*job).or_default().clone()
+        };
+        let mut executed_here = false;
+        let run = entry
+            .get_or_init(|| {
+                executed_here = true;
+                let started = Instant::now();
+                let report = job.run_uncached();
+                Arc::new(CachedRun {
+                    report,
+                    exec_s: started.elapsed().as_secs_f64(),
+                })
+            })
+            .clone();
+        if executed_here {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        run
+    }
+
+    /// Simulations actually executed through this cache.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Requests served from memory without simulating.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+/// The rendering half of an experiment: consumes its jobs' reports, in
+/// declaration order, and produces the printable report text.
+pub type FoldFn = Box<dyn FnOnce(&[CallReport]) -> String>;
+
+/// A declarative experiment: the jobs it needs plus the fold that renders
+/// them. The engine owns execution.
+pub struct ExperimentSpec {
+    /// Every `Cell × seed` job, in the order `fold` expects reports.
+    pub jobs: Vec<Job>,
+    /// Renders the ordered reports into the experiment's report text.
+    pub fold: FoldFn,
+}
+
+/// Sequential reader over an experiment's ordered reports, for fold
+/// implementations that mirror their job-declaration loops.
+pub struct Reports<'a> {
+    all: &'a [CallReport],
+    next: usize,
+}
+
+impl<'a> Reports<'a> {
+    /// Wraps an ordered report slice.
+    pub fn new(all: &'a [CallReport]) -> Self {
+        Reports { all, next: 0 }
+    }
+
+    /// Takes the next `n` reports.
+    pub fn take(&mut self, n: usize) -> &'a [CallReport] {
+        let slice = &self.all[self.next..self.next + n];
+        self.next += n;
+        slice
+    }
+
+    /// Takes the next single report.
+    pub fn one(&mut self) -> &'a CallReport {
+        &self.take(1)[0]
+    }
+}
+
+/// Executes a spec's jobs serially through the process-wide cache and
+/// folds the report — the one-shot path used by tests and the legacy
+/// per-experiment `run` functions.
+pub fn render(spec: ExperimentSpec) -> String {
+    let reports: Vec<CallReport> = spec
+        .jobs
+        .iter()
+        .map(|job| CellCache::global().get_or_run(job).report.clone())
+        .collect();
+    (spec.fold)(&reports)
+}
+
+/// Per-experiment sweep accounting.
+#[derive(Debug, Clone)]
+pub struct ExpStats {
+    /// Experiment ID.
+    pub id: String,
+    /// Jobs the experiment declared.
+    pub jobs: usize,
+    /// Jobs this experiment was first to claim and therefore paid to
+    /// simulate.
+    pub executed: usize,
+    /// Jobs served from the memo cache (shared with another experiment in
+    /// this sweep, or already warm in the process cache).
+    pub cache_hits: usize,
+    /// Summed execution seconds of the jobs it paid for.
+    pub job_time_s: f64,
+    /// Simulated call seconds across all its jobs.
+    pub sim_s: f64,
+}
+
+/// Whole-sweep accounting, rendered to `BENCH_sweep.json` by
+/// [`SweepStats::to_json`].
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// Scale the sweep ran at.
+    pub scale: Scale,
+    /// Worker-thread count (`--jobs`).
+    pub workers: usize,
+    /// Wall-clock seconds for the whole sweep (execution + folding).
+    pub wall_s: f64,
+    /// Total jobs declared across experiments.
+    pub jobs: usize,
+    /// Unique jobs actually simulated.
+    pub executed: usize,
+    /// Jobs resolved from the memo cache instead of simulating.
+    pub cache_hits: usize,
+    /// Simulated call seconds actually executed.
+    pub sim_s: f64,
+    /// Per-job execution wall times (one entry per executed job).
+    pub job_times_s: Vec<f64>,
+    /// Per-experiment breakdown.
+    pub experiments: Vec<ExpStats>,
+}
+
+impl SweepStats {
+    /// Simulated-seconds-per-wall-second throughput of the sweep.
+    pub fn sim_s_per_wall_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.sim_s / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the machine-readable bench report (`BENCH_sweep.json`).
+    pub fn to_json(&self) -> String {
+        let (p50, p95) = {
+            let qs = crate::stats::quantiles(&self.job_times_s, &[0.50, 0.95]);
+            (qs[0], qs[1])
+        };
+        let mut exps = String::new();
+        for (i, e) in self.experiments.iter().enumerate() {
+            if i > 0 {
+                exps.push(',');
+            }
+            exps.push_str(&format!(
+                "\n    {{\"id\": {:?}, \"jobs\": {}, \"executed\": {}, \"cache_hits\": {}, \"job_time_s\": {:.3}, \"sim_s\": {:.1}}}",
+                e.id, e.jobs, e.executed, e.cache_hits, e.job_time_s, e.sim_s
+            ));
+        }
+        format!(
+            "{{\n  \"schema\": \"converge-bench/sweep/v1\",\n  \"scale\": \"{:?}\",\n  \"workers\": {},\n  \"wall_s\": {:.3},\n  \"jobs\": {},\n  \"executed\": {},\n  \"cache_hits\": {},\n  \"sim_s\": {:.1},\n  \"sim_s_per_wall_s\": {:.2},\n  \"job_time_p50_s\": {:.3},\n  \"job_time_p95_s\": {:.3},\n  \"experiments\": [{}\n  ]\n}}\n",
+            self.scale,
+            self.workers,
+            self.wall_s,
+            self.jobs,
+            self.executed,
+            self.cache_hits,
+            self.sim_s,
+            self.sim_s_per_wall_s(),
+            p50,
+            p95,
+            exps
+        )
+    }
+
+    /// One-line human summary for stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs ({} executed, {} cache hits) on {} worker(s) in {:.1}s — {:.0} sim-s/wall-s",
+            self.jobs,
+            self.executed,
+            self.cache_hits,
+            self.workers,
+            self.wall_s,
+            self.sim_s_per_wall_s()
+        )
+    }
+}
+
+/// Executes the experiments' pooled jobs on `workers` threads and folds
+/// each experiment, returning `(id, report_text)` pairs in input order
+/// plus the sweep accounting.
+pub fn run_sweep(
+    experiments: Vec<(String, ExperimentSpec)>,
+    scale: Scale,
+    workers: usize,
+    cache: &CellCache,
+) -> (Vec<(String, String)>, SweepStats) {
+    let started = Instant::now();
+
+    // Flatten every experiment into the global pool, dedup by fingerprint,
+    // and record which experiment first claimed each unique job (that
+    // experiment pays for its execution in the accounting).
+    let mut unique: Vec<Job> = Vec::new();
+    let mut owner: Vec<usize> = Vec::new();
+    let mut slot_of: HashMap<Job, usize> = HashMap::new();
+    for (exp_idx, (_, spec)) in experiments.iter().enumerate() {
+        for job in &spec.jobs {
+            slot_of.entry(*job).or_insert_with(|| {
+                unique.push(*job);
+                owner.push(exp_idx);
+                unique.len() - 1
+            });
+        }
+    }
+
+    // Jobs already warm in the cache cost nothing; only the rest enter the
+    // work-stealing pool.
+    let cold: HashSet<usize> = (0..unique.len())
+        .filter(|&slot| !cache.contains(&unique[slot]))
+        .collect();
+    let pending: Vec<Job> = cold.iter().map(|&slot| unique[slot]).collect();
+    execute_pool(&pending, workers, cache);
+
+    // Fold each experiment from reports fetched in declaration order.
+    let mut outputs = Vec::with_capacity(experiments.len());
+    let mut exp_stats = Vec::with_capacity(experiments.len());
+    let mut job_times_s = Vec::new();
+    let mut total_jobs = 0usize;
+    let mut total_executed = 0usize;
+    let mut executed_sim_s = 0.0f64;
+    for (exp_idx, (id, spec)) in experiments.into_iter().enumerate() {
+        let mut stats = ExpStats {
+            id: id.clone(),
+            jobs: spec.jobs.len(),
+            executed: 0,
+            cache_hits: 0,
+            job_time_s: 0.0,
+            sim_s: 0.0,
+        };
+        let reports: Vec<CallReport> = spec
+            .jobs
+            .iter()
+            .map(|job| {
+                let slot = slot_of[job];
+                let run = cache.get_or_run(job);
+                stats.sim_s += job.sim_seconds();
+                if owner[slot] == exp_idx && cold.contains(&slot) {
+                    stats.executed += 1;
+                    stats.job_time_s += run.exec_s;
+                    job_times_s.push(run.exec_s);
+                    executed_sim_s += job.sim_seconds();
+                } else {
+                    stats.cache_hits += 1;
+                }
+                run.report.clone()
+            })
+            .collect();
+        outputs.push((id, (spec.fold)(&reports)));
+        total_jobs += stats.jobs;
+        total_executed += stats.executed;
+        exp_stats.push(stats);
+    }
+
+    let stats = SweepStats {
+        scale,
+        workers,
+        wall_s: started.elapsed().as_secs_f64(),
+        jobs: total_jobs,
+        executed: total_executed,
+        cache_hits: total_jobs - total_executed,
+        sim_s: executed_sim_s,
+        job_times_s,
+        experiments: exp_stats,
+    };
+    (outputs, stats)
+}
+
+/// Runs the unique pending jobs to completion on a work-stealing pool:
+/// every worker owns a local deque, takes batches from the shared
+/// injector, and steals from siblings when both run dry.
+fn execute_pool(jobs: &[Job], workers: usize, cache: &CellCache) {
+    if jobs.is_empty() {
+        return;
+    }
+    let n = workers.max(1).min(jobs.len());
+    if n == 1 {
+        for job in jobs {
+            cache.get_or_run(job);
+        }
+        return;
+    }
+    use crossbeam::deque::{Injector, Stealer, Worker};
+    let injector = Injector::new();
+    for &job in jobs {
+        injector.push(job);
+    }
+    let locals: Vec<Worker<Job>> = (0..n).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<Job>> = locals.iter().map(|w| w.stealer()).collect();
+    crossbeam::thread::scope(|s| {
+        for local in locals {
+            let injector = &injector;
+            let stealers = &stealers;
+            s.spawn(move |_| {
+                while let Some(job) = find_task(&local, injector, stealers) {
+                    cache.get_or_run(&job);
+                }
+            });
+        }
+    })
+    .expect("sweep scope");
+}
+
+/// The classic crossbeam-deque scheduling loop: pop locally, then take a
+/// batch from the injector, then steal from a sibling.
+fn find_task(
+    local: &crossbeam::deque::Worker<Job>,
+    global: &crossbeam::deque::Injector<Job>,
+    stealers: &[crossbeam::deque::Stealer<Job>],
+) -> Option<Job> {
+    local.pop().or_else(|| {
+        std::iter::repeat_with(|| {
+            global
+                .steal_batch_and_pop(local)
+                .or_else(|| stealers.iter().map(|s| s.steal()).collect())
+        })
+        .find(|s| !s.is_retry())
+        .and_then(|s| s.success())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Cell, ScenarioSpec};
+    use converge_net::SimDuration;
+    use converge_sim::{FecKind, SchedulerKind};
+
+    fn tiny_cell(loss_pct: f64) -> Cell {
+        Cell::new(
+            ScenarioSpec::fec_tradeoff_pct(loss_pct),
+            SchedulerKind::Converge,
+            FecKind::Converge,
+            1,
+        )
+    }
+
+    /// A 4-job spec over 5 s calls whose fold prints one line per job.
+    fn tiny_spec() -> ExperimentSpec {
+        let duration = SimDuration::from_secs(5);
+        let jobs: Vec<Job> = [(0.0, 1), (0.0, 2), (3.0, 1), (3.0, 2)]
+            .iter()
+            .map(|&(loss, seed)| Job::new(tiny_cell(loss), duration, seed))
+            .collect();
+        let fold_jobs = jobs.clone();
+        ExperimentSpec {
+            jobs,
+            fold: Box::new(move |reports| {
+                let mut out = String::new();
+                for (job, r) in fold_jobs.iter().zip(reports) {
+                    out.push_str(&format!(
+                        "{} {} {} {:.3}\n",
+                        job.fingerprint(),
+                        r.frames_decoded,
+                        r.frames_dropped,
+                        r.e2e_mean_ms
+                    ));
+                }
+                out
+            }),
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let serial_cache = CellCache::new();
+        let (serial, serial_stats) = run_sweep(
+            vec![("tiny".into(), tiny_spec())],
+            Scale::Quick,
+            1,
+            &serial_cache,
+        );
+        let parallel_cache = CellCache::new();
+        let (parallel, parallel_stats) = run_sweep(
+            vec![("tiny".into(), tiny_spec())],
+            Scale::Quick,
+            4,
+            &parallel_cache,
+        );
+        assert!(!serial[0].1.is_empty());
+        assert_eq!(serial[0].1, parallel[0].1, "reports must be byte-identical");
+        assert_eq!(serial_stats.executed, 4);
+        assert_eq!(parallel_stats.executed, 4);
+        assert_eq!(parallel_stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn repeated_cell_simulates_once() {
+        let cache = CellCache::new();
+        let job = Job::new(tiny_cell(0.0), SimDuration::from_secs(5), 7);
+        let first = cache.get_or_run(&job);
+        let second = cache.get_or_run(&job);
+        assert_eq!(cache.executed(), 1, "one simulation for a repeated cell");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(first.report.frames_decoded, second.report.frames_decoded);
+    }
+
+    #[test]
+    fn shared_cells_across_experiments_execute_once() {
+        let cache = CellCache::new();
+        let (outputs, stats) = run_sweep(
+            vec![("a".into(), tiny_spec()), ("b".into(), tiny_spec())],
+            Scale::Quick,
+            2,
+            &cache,
+        );
+        assert_eq!(outputs[0].1, outputs[1].1);
+        assert_eq!(stats.jobs, 8);
+        assert_eq!(stats.executed, 4, "the duplicate experiment costs nothing");
+        assert_eq!(stats.cache_hits, 4);
+        assert_eq!(stats.experiments[0].executed, 4);
+        assert_eq!(stats.experiments[1].executed, 0);
+        assert_eq!(stats.experiments[1].cache_hits, 4);
+        assert_eq!(cache.executed(), 4);
+    }
+
+    #[test]
+    fn warm_cache_turns_jobs_into_hits() {
+        let cache = CellCache::new();
+        let spec = tiny_spec();
+        for job in &spec.jobs {
+            cache.get_or_run(job);
+        }
+        let (_, stats) = run_sweep(vec![("warm".into(), spec)], Scale::Quick, 2, &cache);
+        assert_eq!(stats.executed, 0);
+        assert_eq!(stats.cache_hits, 4);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let cache = CellCache::new();
+        let (_, stats) = run_sweep(vec![("tiny".into(), tiny_spec())], Scale::Quick, 2, &cache);
+        let json = stats.to_json();
+        assert!(json.contains("\"schema\": \"converge-bench/sweep/v1\""));
+        assert!(json.contains("\"experiments\": ["));
+        assert!(json.contains("\"id\": \"tiny\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        assert!(!stats.summary().is_empty());
+    }
+}

@@ -61,7 +61,10 @@ pub fn encode_rtp(rtp: &SimRtp) -> Bytes {
         ssrc,
         extension: Some(MultipathExtension {
             path_id: rtp.path.0,
-            mp_sequence: (rtp.transport_seq & 0xFFFF) as u16,
+            // Fig. 18: mp_sequence is the flow-level media sequence (for
+            // reordering across paths); only mp_transport_sequence carries
+            // the per-path transport-wide number GCC feedback keys on.
+            mp_sequence: seq16,
             mp_transport_sequence: (rtp.transport_seq & 0xFFFF) as u16,
         }),
         payload: body,
@@ -342,6 +345,26 @@ mod tests {
         } else {
             panic!("not fec");
         }
+    }
+
+    #[test]
+    fn mp_sequence_carries_flow_sequence_not_transport_seq() {
+        // Distinct flow sequence (0xAAAA) and transport sequence (0x3BBB)
+        // so a swap or copy-paste of the two fields cannot go unnoticed.
+        let rtp = SimRtp {
+            kind: RtpKind::Media(vp(0xAAAA, PacketKind::Media { index: 0, count: 1 })),
+            path: PathId(1),
+            transport_seq: 0x3BBB,
+            sent_at: SimTime::from_millis(3),
+        };
+        let wire = encode_rtp(&rtp);
+        let pkt = RtpPacket::parse(wire.clone()).unwrap();
+        let ext = pkt.extension.expect("multipath extension");
+        assert_eq!(ext.mp_sequence, 0xAAAA, "flow-level media sequence");
+        assert_eq!(ext.mp_transport_sequence, 0x3BBB, "per-path transport seq");
+        assert_ne!(ext.mp_sequence, ext.mp_transport_sequence);
+        let back = decode_rtp(wire, rtp.sent_at).expect("decode");
+        assert_eq!(back, rtp);
     }
 
     #[test]
