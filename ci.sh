@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, unit/integration tests, and a quick-scale smoke run
-# of the full experiment sweep on 2 workers (exercises the work-stealing
-# pool, the memo cache, and the bench-report writer).
+# Tier-1 gate: lint, build, unit/integration tests, a quick-scale smoke
+# run of the full experiment sweep on 2 workers (exercises the
+# work-stealing pool, the memo cache, and the bench-report writer), and a
+# traced experiment run with JSONL timeline validation.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+cargo clippy -q --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 
@@ -13,4 +15,24 @@ cargo run --release -p converge-bench --bin experiments -- \
     all --quick --jobs 2 --bench-json results/BENCH_sweep.json > results/smoke_all.txt
 test -s results/smoke_all.txt
 grep -q '"schema": "converge-bench/sweep/v1"' results/BENCH_sweep.json
+
+# Traced run: fig11 writes one JSONL timeline per job; validate schema,
+# field presence, and monotone timestamps.
+rm -rf results/traces
+cargo run --release -p converge-bench --bin experiments -- \
+    fig11 --quick --jobs 2 --trace results/traces > results/smoke_fig11.txt
+ls results/traces/*.jsonl > /dev/null
+for f in results/traces/*.jsonl; do
+    head -1 "$f" | grep -q '"schema":"converge-trace/v1"'
+    head -1 "$f" | grep -q '"job":"'
+    # Every record line carries at_us + event, and at_us never decreases.
+    tail -n +2 "$f" | awk '
+        !/"at_us":[0-9]+/ || !/"event":"[a-z_]+"/ { print "bad record: " $0; exit 1 }
+        { at = $0; sub(/.*"at_us":/, "", at); sub(/[,}].*/, "", at) }
+        at + 0 < prev + 0 { print "timestamp regression at " NR ": " at " < " prev; exit 1 }
+        { prev = at }
+    '
+    test -s "${f%.jsonl}.timeline.txt"
+done
+
 echo "ci: ok"

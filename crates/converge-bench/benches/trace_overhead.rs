@@ -1,0 +1,100 @@
+//! Criterion benches for the structured-trace layer: the per-emit cost of
+//! a disabled handle versus live sinks, and the end-to-end cost a trace
+//! handle adds to a full session. The disabled-handle results are the
+//! acceptance gauge for the zero-overhead-when-disabled design: a
+//! disabled emit is a branch on a `None`, so `session/traced_off` must be
+//! indistinguishable from `session/untraced`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use converge_bench::{Cell, Job, ScenarioSpec};
+use converge_net::{PathId, SimDuration, SimTime};
+use converge_sim::{FecKind, SchedulerKind, Session, SessionConfig};
+use converge_trace::{NullSink, RingSink, TraceEvent, TraceHandle};
+
+fn bench_emit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace/emit");
+    let handles: Vec<(&str, TraceHandle)> = vec![
+        ("disabled", TraceHandle::disabled()),
+        ("null_sink", TraceHandle::new(Arc::new(NullSink))),
+        ("ring_sink", TraceHandle::new(Arc::new(RingSink::new(1 << 16)))),
+    ];
+    for (name, trace) in handles {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                trace.emit(
+                    SimTime::from_micros(t),
+                    TraceEvent::SplitDecision {
+                        path: PathId((t % 2) as u8),
+                        packets: t as u32,
+                        offset: -(t as i64),
+                    },
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+fn driving_job() -> Job {
+    Job::new(
+        Cell::new(
+            ScenarioSpec::Driving,
+            SchedulerKind::Converge,
+            FecKind::Converge,
+            1,
+        ),
+        SimDuration::from_secs(10),
+        42,
+    )
+}
+
+fn session_with(job: &Job, trace: TraceHandle) -> SessionConfig {
+    SessionConfig::builder()
+        .scenario(job.cell.scenario.build(job.duration, job.seed))
+        .scheduler(job.cell.scheduler)
+        .fec(job.cell.fec)
+        .streams(job.cell.streams)
+        .duration(job.duration)
+        .seed(job.seed)
+        .trace(trace)
+        .build()
+        .expect("valid config")
+}
+
+fn bench_session_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session/trace_overhead_10s_driving");
+    group.sample_size(10);
+    let job = driving_job();
+    group.bench_function("untraced", |b| {
+        b.iter(|| std::hint::black_box(&job).run_uncached().frames_decoded);
+    });
+    group.bench_function("traced_off", |b| {
+        b.iter(|| {
+            Session::new(session_with(
+                std::hint::black_box(&job),
+                TraceHandle::disabled(),
+            ))
+            .run()
+            .frames_decoded
+        });
+    });
+    group.bench_function("traced_ring", |b| {
+        b.iter(|| {
+            Session::new(session_with(
+                std::hint::black_box(&job),
+                TraceHandle::new(Arc::new(RingSink::new(1 << 20))),
+            ))
+            .run()
+            .frames_decoded
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_emit, bench_session_overhead);
+criterion_main!(benches);

@@ -53,7 +53,7 @@ pub fn spec_priority(scale: Scale) -> ExperimentSpec {
 /// with Table-2 priorities disabled, on lossy driving paths where keyframe
 /// and control packets landing on a bad path break decode chains.
 pub fn run_priority_ablation(scale: Scale) -> String {
-    crate::sweep::render(spec_priority(scale))
+    crate::sweep::render(spec_priority(scale), crate::sweep::CellCache::global())
 }
 
 /// Declares ablation B: completion-time vs minRTT fast path, every seed.
@@ -99,7 +99,7 @@ pub fn spec_fastpath(scale: Scale) -> ExperimentSpec {
 /// Ablation B: the fast-path metric of Algorithm 1 (completion time) vs
 /// minRTT, on asymmetric paths.
 pub fn run_fastpath_ablation(scale: Scale) -> String {
-    crate::sweep::render(spec_fastpath(scale))
+    crate::sweep::render(spec_fastpath(scale), crate::sweep::CellCache::global())
 }
 
 /// Declares ablation C: three FEC policies at 3 % loss, every seed.
@@ -153,7 +153,7 @@ pub fn spec_fec(scale: Scale) -> ExperimentSpec {
 /// Ablation C: FEC policy — Converge's path-specific controller vs the
 /// WebRTC table vs no FEC, at a fixed moderate loss.
 pub fn run_fec_ablation(scale: Scale) -> String {
-    crate::sweep::render(spec_fec(scale))
+    crate::sweep::render(spec_fec(scale), crate::sweep::CellCache::global())
 }
 
 /// Declares ablation D: drop-tail vs CoDel at the bottleneck, seed 42.
@@ -205,7 +205,7 @@ pub fn spec_aqm(scale: Scale) -> ExperimentSpec {
 /// Ablation D: queue discipline at the bottleneck — GCC (and everything
 /// above it) under drop-tail vs CoDel on the same constant-rate paths.
 pub fn run_aqm_ablation(scale: Scale) -> String {
-    crate::sweep::render(spec_aqm(scale))
+    crate::sweep::render(spec_aqm(scale), crate::sweep::CellCache::global())
 }
 
 /// Declares ablation E: uncoupled vs LIA-coupled CC, seed 42. The
@@ -265,7 +265,7 @@ pub fn spec_coupling(scale: Scale) -> ExperimentSpec {
 /// per-path GCC vs LIA-style coupled growth, on two independent paths
 /// where coupling has nothing to be fair to and only costs throughput.
 pub fn run_coupling_ablation(scale: Scale) -> String {
-    crate::sweep::render(spec_coupling(scale))
+    crate::sweep::render(spec_coupling(scale), crate::sweep::CellCache::global())
 }
 
 #[cfg(test)]
@@ -282,7 +282,7 @@ mod tests {
                 fec,
                 1,
             );
-            run_seeds(&cell, Scale::Quick)
+            run_seeds(crate::sweep::CellCache::global(), &cell, Scale::Quick)
         };
         let none = run(FecKind::None);
         let conv = run(FecKind::Converge);
@@ -304,7 +304,7 @@ mod tests {
                 1,
             );
             cell.coupled_cc = coupled;
-            run_once(&cell, converge_net::SimDuration::from_secs(15), 4)
+            run_once(crate::sweep::CellCache::global(), &cell, converge_net::SimDuration::from_secs(15), 4)
         };
         let uncoupled = run(false);
         let coupled = run(true);
@@ -332,7 +332,7 @@ mod tests {
                 FecKind::Converge,
                 1,
             );
-            let r = run_once(&cell, converge_net::SimDuration::from_secs(10), 3);
+            let r = run_once(crate::sweep::CellCache::global(), &cell, converge_net::SimDuration::from_secs(10), 3);
             assert!(
                 r.frames_decoded > 100,
                 "{}: {} frames",

@@ -2,9 +2,9 @@
 //! path-specific controller vs WebRTC's static table on two 15 Mbps /
 //! 100 ms paths, loss swept 0–10 %.
 
-use converge_sim::{CallReport, FecKind, SchedulerKind};
+use converge_sim::{FecKind, SchedulerKind};
 
-use crate::runner::{run_once, Cell, Job, Scale, ScenarioSpec};
+use crate::runner::{Cell, Job, Scale, ScenarioSpec};
 use crate::sweep::{ExperimentSpec, Reports};
 
 fn pair_cell(loss_pct: f64, fec: FecKind) -> Cell {
@@ -14,10 +14,6 @@ fn pair_cell(loss_pct: f64, fec: FecKind) -> Cell {
         fec,
         1,
     )
-}
-
-fn run_pair(loss_pct: f64, fec: FecKind, scale: Scale, seed: u64) -> CallReport {
-    run_once(&pair_cell(loss_pct, fec), scale.duration(), seed)
 }
 
 const FIG12_LOSSES: [f64; 7] = [0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0];
@@ -66,7 +62,7 @@ pub fn spec_fig12(scale: Scale) -> ExperimentSpec {
 
 /// Fig. 12: FEC overhead and utilization vs loss rate for both policies.
 pub fn run_fig12(scale: Scale) -> String {
-    crate::sweep::render(spec_fig12(scale))
+    crate::sweep::render(spec_fig12(scale), crate::sweep::CellCache::global())
 }
 
 /// Declares Fig. 13: both policies at four loss rates, seed 13.
@@ -103,7 +99,7 @@ pub fn spec_fig13(scale: Scale) -> ExperimentSpec {
 
 /// Fig. 13: the throughput vs E2E-delay trade-off scatter.
 pub fn run_fig13(scale: Scale) -> String {
-    crate::sweep::render(spec_fig13(scale))
+    crate::sweep::render(spec_fig13(scale), crate::sweep::CellCache::global())
 }
 
 /// Declares Table 5: both policies at 1–10 % integer loss rates, seed 21.
@@ -162,12 +158,22 @@ pub fn spec_table5(scale: Scale) -> ExperimentSpec {
 /// Table 5: percentage QoE improvement (frame drops, freeze duration,
 /// keyframe requests) of Converge's FEC vs the table at 1–10 % loss.
 pub fn run_table5(scale: Scale) -> String {
-    crate::sweep::render(spec_table5(scale))
+    crate::sweep::render(spec_table5(scale), crate::sweep::CellCache::global())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use converge_sim::CallReport;
+
+    fn run_pair(loss_pct: f64, fec: FecKind, scale: Scale, seed: u64) -> CallReport {
+        crate::runner::run_once(
+            crate::sweep::CellCache::global(),
+            &pair_cell(loss_pct, fec),
+            scale.duration(),
+            seed,
+        )
+    }
 
     #[test]
     fn converge_fec_dominates_table_at_low_loss() {

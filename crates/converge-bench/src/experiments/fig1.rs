@@ -66,7 +66,7 @@ pub fn spec(scale: Scale) -> ExperimentSpec {
 /// Regenerates Fig. 1: per-second FPS and E2E for two single-path WebRTC
 /// calls (one per carrier), plus the carriers' bandwidth traces.
 pub fn run(scale: Scale) -> String {
-    crate::sweep::render(spec(scale))
+    crate::sweep::render(spec(scale), crate::sweep::CellCache::global())
 }
 
 #[cfg(test)]

@@ -86,7 +86,7 @@ pub fn spec_fig11(scale: Scale) -> ExperimentSpec {
 /// Fig. 11: path dynamics, video throughput, IFD, and FCD time series for
 /// the two variants.
 pub fn run_fig11(scale: Scale) -> String {
-    crate::sweep::render(spec_fig11(scale))
+    crate::sweep::render(spec_fig11(scale), crate::sweep::CellCache::global())
 }
 
 /// Declares Table 4: the same two variants, same seed — the sweep engine's
@@ -127,7 +127,7 @@ pub fn spec_table4(scale: Scale) -> ExperimentSpec {
 /// Table 4: frame drops, freeze duration, keyframe requests with vs
 /// without feedback.
 pub fn run_table4(scale: Scale) -> String {
-    crate::sweep::render(spec_table4(scale))
+    crate::sweep::render(spec_table4(scale), crate::sweep::CellCache::global())
 }
 
 #[cfg(test)]
@@ -152,7 +152,7 @@ mod tests {
         // is chaotic run-to-run, so the assertion averages seeds and looks
         // at the steady mid-dip window where the mechanism matters.
         let duration = converge_net::SimDuration::from_secs(120);
-        let run = |scheduler, seed| run_once(&variant_cell(scheduler), duration, seed);
+        let run = |scheduler, seed| run_once(crate::sweep::CellCache::global(), &variant_cell(scheduler), duration, seed);
         let mut fb_bad = 0usize;
         let mut nofb_bad = 0usize;
         let mut fb_fps = 0.0f64;

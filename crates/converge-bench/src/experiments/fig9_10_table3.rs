@@ -74,7 +74,7 @@ pub fn spec_fig9(scale: Scale) -> ExperimentSpec {
 
 /// Fig. 9: per-second throughput / FPS / E2E time series.
 pub fn run_fig9(scale: Scale) -> String {
-    crate::sweep::render(spec_fig9(scale))
+    crate::sweep::render(spec_fig9(scale), crate::sweep::CellCache::global())
 }
 
 /// Declares Fig. 10: every system × scenario at 3 streams, all seeds.
@@ -122,7 +122,7 @@ pub fn spec_fig10(scale: Scale) -> ExperimentSpec {
 
 /// Fig. 10: normalized QoE bars (throughput, FPS, stall, QP) per scenario.
 pub fn run_fig10(scale: Scale) -> String {
-    crate::sweep::render(spec_fig10(scale))
+    crate::sweep::render(spec_fig10(scale), crate::sweep::CellCache::global())
 }
 
 /// Declares Table 3: every system × scenario × 1–3 streams, all seeds.
@@ -176,7 +176,7 @@ pub fn spec_table3(scale: Scale) -> ExperimentSpec {
 
 /// Table 3: E2E latency / FEC overhead / FEC utilization for 1–3 cameras.
 pub fn run_table3(scale: Scale) -> String {
-    crate::sweep::render(spec_table3(scale))
+    crate::sweep::render(spec_table3(scale), crate::sweep::CellCache::global())
 }
 
 #[cfg(test)]
@@ -187,6 +187,7 @@ mod tests {
     #[test]
     fn converge_outperforms_single_path_in_walking_throughput() {
         let conv = run_seeds(
+            crate::sweep::CellCache::global(),
             &Cell::new(
                 ScenarioSpec::Walking,
                 SchedulerKind::Converge,
@@ -196,6 +197,7 @@ mod tests {
             Scale::Quick,
         );
         let single = run_seeds(
+            crate::sweep::CellCache::global(),
             &Cell::new(
                 ScenarioSpec::Walking,
                 SchedulerKind::SinglePath(1),
@@ -215,6 +217,7 @@ mod tests {
     #[test]
     fn converge_fec_utilization_beats_table() {
         let conv = run_seeds(
+            crate::sweep::CellCache::global(),
             &Cell::new(
                 ScenarioSpec::Driving,
                 SchedulerKind::Converge,
@@ -224,6 +227,7 @@ mod tests {
             Scale::Quick,
         );
         let single = run_seeds(
+            crate::sweep::CellCache::global(),
             &Cell::new(
                 ScenarioSpec::Driving,
                 SchedulerKind::SinglePath(0),

@@ -61,7 +61,7 @@ pub fn spec_fig16(scale: Scale) -> ExperimentSpec {
 
 /// Fig. 16: stationary time series (throughput, FPS, E2E).
 pub fn run_fig16(scale: Scale) -> String {
-    crate::sweep::render(spec_fig16(scale))
+    crate::sweep::render(spec_fig16(scale), crate::sweep::CellCache::global())
 }
 
 /// Declares Fig. 17: every system × 1–3 streams × every seed.
@@ -113,7 +113,7 @@ pub fn spec_fig17(scale: Scale) -> ExperimentSpec {
 
 /// Fig. 17: normalized QoE bars for 1–3 camera streams.
 pub fn run_fig17(scale: Scale) -> String {
-    crate::sweep::render(spec_fig17(scale))
+    crate::sweep::render(spec_fig17(scale), crate::sweep::CellCache::global())
 }
 
 /// Declares Table 6: the same cells as Fig. 17 — free under a shared
@@ -166,7 +166,7 @@ pub fn spec_table6(scale: Scale) -> ExperimentSpec {
 
 /// Table 6: stationary E2E latency, FEC overhead, FEC utilization.
 pub fn run_table6(scale: Scale) -> String {
-    crate::sweep::render(spec_table6(scale))
+    crate::sweep::render(spec_table6(scale), crate::sweep::CellCache::global())
 }
 
 #[cfg(test)]
@@ -179,11 +179,13 @@ mod tests {
         // quick-scale runs.
         let duration = converge_net::SimDuration::from_secs(60);
         let conv = crate::runner::run_once(
+            crate::sweep::CellCache::global(),
             &stationary_cell(SchedulerKind::Converge, FecKind::Converge, 3),
             duration,
             42,
         );
         let cellular = crate::runner::run_once(
+            crate::sweep::CellCache::global(),
             &stationary_cell(SchedulerKind::SinglePath(1), FecKind::WebRtcTable, 3),
             duration,
             42,

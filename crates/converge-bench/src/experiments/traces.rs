@@ -19,7 +19,7 @@ pub fn spec(scale: Scale) -> ExperimentSpec {
 /// Regenerates the bandwidth-dynamics plots: one series per carrier per
 /// scenario, sampled at 1 Hz, with summary statistics.
 pub fn run(scale: Scale) -> String {
-    crate::sweep::render(spec(scale))
+    crate::sweep::render(spec(scale), crate::sweep::CellCache::global())
 }
 
 fn render_traces(scale: Scale) -> String {

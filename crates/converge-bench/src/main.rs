@@ -1,18 +1,25 @@
 //! The `experiments` binary: regenerates the paper's tables and figures by
 //! handing every selected experiment to the work-stealing sweep engine.
 //!
-//! Usage: `experiments <id>|all [--quick] [--jobs N] [--bench-json PATH]`
+//! Usage: `experiments <id>|all [--quick] [--jobs N] [--bench-json PATH]
+//! [--trace DIR]`
 //!
 //! Reports go to stdout in registry order and are byte-identical for any
 //! `--jobs` value; progress, timing, and the sweep summary go to stderr.
+//! With `--trace DIR`, every unique job additionally writes its structured
+//! event timeline as `DIR/<fingerprint>.jsonl` plus a human-readable
+//! per-path summary as `DIR/<fingerprint>.timeline.txt`. Each timeline is
+//! captured inside the job's own single-threaded simulation, so the JSONL
+//! bytes are identical for any `--jobs` value too.
 
 use converge_bench::experiments::registry;
-use converge_bench::{run_sweep, CellCache, Scale};
+use converge_bench::{run_sweep, CellCache, Job, Scale};
 
 struct Cli {
     scale: Scale,
     jobs: usize,
     bench_json: Option<String>,
+    trace: Option<String>,
     targets: Vec<String>,
 }
 
@@ -24,6 +31,7 @@ fn parse_cli() -> Result<Cli, String> {
             .map(|n| n.get())
             .unwrap_or(1),
         bench_json: None,
+        trace: None,
         targets: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -39,6 +47,10 @@ fn parse_cli() -> Result<Cli, String> {
             cli.bench_json = Some(v.to_string());
         } else if arg == "--bench-json" {
             cli.bench_json = Some(it.next().ok_or("--bench-json needs a path")?);
+        } else if let Some(v) = arg.strip_prefix("--trace=") {
+            cli.trace = Some(v.to_string());
+        } else if arg == "--trace" {
+            cli.trace = Some(it.next().ok_or("--trace needs a directory")?);
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag {arg:?}"));
         } else {
@@ -63,7 +75,7 @@ fn main() {
     let registry = registry();
     if cli.targets.is_empty() || cli.targets.iter().any(|t| t == "list") {
         eprintln!(
-            "usage: experiments <id>|all [--quick] [--jobs N] [--bench-json PATH]\n\navailable experiments:"
+            "usage: experiments <id>|all [--quick] [--jobs N] [--bench-json PATH] [--trace DIR]\n\navailable experiments:"
         );
         for def in &registry {
             let alias = if def.aliases.is_empty() {
@@ -100,6 +112,22 @@ fn main() {
         .iter()
         .map(|def| (def.id.to_string(), (def.spec)(scale)))
         .collect();
+
+    // Trace capture must be armed before the first simulation executes;
+    // remember the unique jobs (declaration order) so their timelines can
+    // be fetched back out of the cache after the sweep.
+    let trace_jobs: Vec<Job> = if cli.trace.is_some() {
+        CellCache::global().set_trace_capture(true);
+        let mut seen = std::collections::HashSet::new();
+        specs
+            .iter()
+            .flat_map(|(_, spec)| spec.jobs.iter().copied())
+            .filter(|job| seen.insert(*job))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let (outputs, stats) = run_sweep(specs, scale, cli.jobs, CellCache::global());
 
     for ((id, output), def) in outputs.iter().zip(&selected) {
@@ -123,4 +151,51 @@ fn main() {
         }
         eprintln!("   bench report written to {path}");
     }
+
+    if let Some(dir) = &cli.trace {
+        if let Err(e) = write_traces(dir, &trace_jobs) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Filesystem-safe rendering of a job fingerprint.
+fn sanitize(fingerprint: &str) -> String {
+    fingerprint
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Writes one JSONL timeline plus one per-path summary per unique job.
+fn write_traces(dir: &str, jobs: &[Job]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    let mut written = 0usize;
+    for job in jobs {
+        let run = CellCache::global().get_or_run(job);
+        let Some(records) = &run.trace else {
+            // Memoized before capture was armed (cannot happen in this
+            // binary's flow, but the cache API allows it).
+            eprintln!("   warning: no trace captured for {}", job.fingerprint());
+            continue;
+        };
+        let fingerprint = job.fingerprint();
+        let stem = sanitize(&fingerprint);
+        let jsonl_path = format!("{dir}/{stem}.jsonl");
+        std::fs::write(&jsonl_path, converge_trace::jsonl::render(&fingerprint, records))
+            .map_err(|e| format!("writing {jsonl_path}: {e}"))?;
+        let summary_path = format!("{dir}/{stem}.timeline.txt");
+        std::fs::write(&summary_path, converge_trace::timeline::summarize(records))
+            .map_err(|e| format!("writing {summary_path}: {e}"))?;
+        written += 1;
+    }
+    eprintln!("   {written} trace timeline(s) written to {dir}/");
+    Ok(())
 }

@@ -8,8 +8,11 @@
 //! [`CallReport`]s — which is what lets the sweep engine
 //! ([`crate::sweep`]) fingerprint, dedup, and memoize them.
 
+use std::sync::Arc;
+
 use converge_net::{QueueDiscipline, RateTrace, SimDuration};
 use converge_sim::{CallReport, FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig};
+use converge_trace::{RingSink, TraceHandle, TraceRecord};
 
 pub use crate::stats::{mean_std, metric, pm};
 use crate::sweep::CellCache;
@@ -172,21 +175,41 @@ impl Job {
         self.duration.as_secs_f64()
     }
 
+    /// The session config this job describes, with the given trace handle.
+    fn config(&self, trace: TraceHandle) -> SessionConfig {
+        SessionConfig::builder()
+            .scenario(self.cell.scenario.build(self.duration, self.seed))
+            .scheduler(self.cell.scheduler)
+            .fec(self.cell.fec)
+            .streams(self.cell.streams)
+            .duration(self.duration)
+            .seed(self.seed)
+            .coupled_cc(self.cell.coupled_cc)
+            .trace(trace)
+            .build()
+            .expect("job parameters form a valid session config")
+    }
+
     /// Runs the simulation for this job, bypassing the memo cache.
     pub fn run_uncached(&self) -> CallReport {
-        let scenario = self.cell.scenario.build(self.duration, self.seed);
-        let mut config = SessionConfig::paper_default(
-            scenario,
-            self.cell.scheduler,
-            self.cell.fec,
-            self.cell.streams,
-            self.duration,
-            self.seed,
-        );
-        config.coupled_cc = self.cell.coupled_cc;
-        Session::new(config).run()
+        Session::new(self.config(TraceHandle::disabled())).run()
+    }
+
+    /// Runs the simulation for this job with trace capture on, returning
+    /// the report plus the full event timeline. The session itself is
+    /// single-threaded and fully seeded, so the timeline is a pure
+    /// function of the job — identical no matter how many sweep workers
+    /// run around it.
+    pub fn run_traced(&self) -> (CallReport, Vec<TraceRecord>) {
+        let sink = Arc::new(RingSink::new(TRACE_RING_CAPACITY));
+        let report = Session::new(self.config(TraceHandle::new(sink.clone()))).run();
+        (report, sink.drain())
     }
 }
+
+/// Ring capacity for captured timelines: large enough that a 180 s call
+/// never wraps (a full-scale job emits well under a million events).
+const TRACE_RING_CAPACITY: usize = 1 << 21;
 
 /// Experiment scale: full reproduces the paper's 3-minute calls; quick is
 /// for smoke runs and CI.
@@ -216,18 +239,20 @@ impl Scale {
     }
 }
 
-/// Runs one cell once, through the process-wide memo cache: repeated runs
-/// of the same fingerprint are simulated only once per process.
-pub fn run_once(cell: &Cell, duration: SimDuration, seed: u64) -> CallReport {
-    CellCache::global()
+/// Runs one cell once through `cache`: repeated runs of the same
+/// fingerprint are simulated only once per cache. Pass
+/// [`CellCache::global`] for the process-wide cache.
+pub fn run_once(cache: &CellCache, cell: &Cell, duration: SimDuration, seed: u64) -> CallReport {
+    cache
         .get_or_run(&Job::new(*cell, duration, seed))
         .report
         .clone()
 }
 
 /// Runs one cell over every seed of the scale, in parallel, returning the
-/// reports in seed order. Results are memoized in the process-wide cache.
-pub fn run_seeds(cell: &Cell, scale: Scale) -> Vec<CallReport> {
+/// reports in seed order. Results are memoized in `cache`; pass
+/// [`CellCache::global`] for the process-wide cache.
+pub fn run_seeds(cache: &CellCache, cell: &Cell, scale: Scale) -> Vec<CallReport> {
     let duration = scale.duration();
     let seeds = scale.seeds();
     crossbeam::thread::scope(|s| {
@@ -235,7 +260,7 @@ pub fn run_seeds(cell: &Cell, scale: Scale) -> Vec<CallReport> {
             .iter()
             .map(|&seed| {
                 let job = Job::new(*cell, duration, seed);
-                s.spawn(move |_| CellCache::global().get_or_run(&job).report.clone())
+                s.spawn(move |_| cache.get_or_run(&job).report.clone())
             })
             .collect();
         handles
@@ -258,7 +283,7 @@ mod tests {
             FecKind::Converge,
             1,
         );
-        let report = run_once(&cell, SimDuration::from_secs(5), 1);
+        let report = run_once(&CellCache::new(), &cell, SimDuration::from_secs(5), 1);
         assert!(report.frames_decoded > 0);
     }
 
@@ -271,14 +296,35 @@ mod tests {
             1,
         );
         // Abbreviated: 2 seeds at quick scale.
+        let cache = CellCache::new();
         let reports = crossbeam::thread::scope(|s| {
-            let h1 = s.spawn(|_| run_once(&cell, SimDuration::from_secs(5), 1));
-            let h2 = s.spawn(|_| run_once(&cell, SimDuration::from_secs(5), 2));
+            let h1 = s.spawn(|_| run_once(&cache, &cell, SimDuration::from_secs(5), 1));
+            let h2 = s.spawn(|_| run_once(&cache, &cell, SimDuration::from_secs(5), 2));
             (h1.join().unwrap(), h2.join().unwrap())
         })
         .unwrap();
         assert!(reports.0.frames_decoded > 0);
         assert!(reports.1.frames_decoded > 0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_report_and_is_monotone() {
+        let cell = Cell::new(
+            ScenarioSpec::fec_tradeoff_pct(2.0),
+            SchedulerKind::Converge,
+            FecKind::Converge,
+            1,
+        );
+        let job = Job::new(cell, SimDuration::from_secs(5), 1);
+        let (report, records) = job.run_traced();
+        let plain = job.run_uncached();
+        assert_eq!(report.frames_decoded, plain.frames_decoded);
+        assert_eq!(report.nacks_sent, plain.nacks_sent);
+        assert!(!records.is_empty());
+        assert!(
+            records.windows(2).all(|w| w[0].at <= w[1].at),
+            "timeline must be monotone"
+        );
     }
 
     #[test]

@@ -15,21 +15,26 @@
 //! FEC-tradeoff family) is simulated exactly once.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use converge_sim::CallReport;
+use converge_trace::TraceRecord;
 
 use crate::runner::{Job, Scale};
 
-/// One memoized simulation: the report plus its execution cost.
+/// One memoized simulation: the report plus its execution cost and, when
+/// the cache ran with trace capture on, the structured event timeline.
 #[derive(Debug)]
 pub struct CachedRun {
     /// The simulation's final report.
     pub report: CallReport,
     /// Wall-clock seconds the simulation took to execute.
     pub exec_s: f64,
+    /// The captured trace timeline, `None` unless the job was executed
+    /// with [`CellCache::set_trace_capture`] enabled.
+    pub trace: Option<Vec<TraceRecord>>,
 }
 
 /// A concurrent memo cache of `Job → CallReport`, keyed by the canonical
@@ -42,6 +47,7 @@ pub struct CellCache {
     entries: Mutex<HashMap<Job, Arc<OnceLock<Arc<CachedRun>>>>>,
     hits: AtomicU64,
     executed: AtomicU64,
+    capture_trace: AtomicBool,
 }
 
 impl CellCache {
@@ -55,6 +61,19 @@ impl CellCache {
     pub fn global() -> &'static CellCache {
         static GLOBAL: OnceLock<CellCache> = OnceLock::new();
         GLOBAL.get_or_init(CellCache::new)
+    }
+
+    /// Turns structured trace capture on or off for *subsequent*
+    /// executions. Jobs already memoized keep whatever they recorded;
+    /// enable capture before the first simulation (the `--trace` flag
+    /// does this before the sweep starts).
+    pub fn set_trace_capture(&self, on: bool) {
+        self.capture_trace.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether newly executed jobs capture their trace timeline.
+    pub fn trace_capture(&self) -> bool {
+        self.capture_trace.load(Ordering::Relaxed)
     }
 
     /// Whether the job's result is already memoized.
@@ -78,10 +97,16 @@ impl CellCache {
             .get_or_init(|| {
                 executed_here = true;
                 let started = Instant::now();
-                let report = job.run_uncached();
+                let (report, trace) = if self.trace_capture() {
+                    let (report, records) = job.run_traced();
+                    (report, Some(records))
+                } else {
+                    (job.run_uncached(), None)
+                };
                 Arc::new(CachedRun {
                     report,
                     exec_s: started.elapsed().as_secs_f64(),
+                    trace,
                 })
             })
             .clone();
@@ -143,14 +168,14 @@ impl<'a> Reports<'a> {
     }
 }
 
-/// Executes a spec's jobs serially through the process-wide cache and
-/// folds the report — the one-shot path used by tests and the legacy
-/// per-experiment `run` functions.
-pub fn render(spec: ExperimentSpec) -> String {
+/// Executes a spec's jobs serially through `cache` and folds the report —
+/// the one-shot path used by tests and the legacy per-experiment `run`
+/// functions (which pass [`CellCache::global`]).
+pub fn render(spec: ExperimentSpec, cache: &CellCache) -> String {
     let reports: Vec<CallReport> = spec
         .jobs
         .iter()
-        .map(|job| CellCache::global().get_or_run(job).report.clone())
+        .map(|job| cache.get_or_run(job).report.clone())
         .collect();
     (spec.fold)(&reports)
 }
@@ -501,6 +526,43 @@ mod tests {
         let (_, stats) = run_sweep(vec![("warm".into(), spec)], Scale::Quick, 2, &cache);
         assert_eq!(stats.executed, 0);
         assert_eq!(stats.cache_hits, 4);
+    }
+
+    /// The tentpole determinism guarantee: the JSONL timeline of every
+    /// job is byte-identical whether the sweep ran on 1 worker or 4,
+    /// because each timeline is captured inside its own single-threaded,
+    /// fully seeded simulation.
+    #[test]
+    fn captured_traces_are_byte_identical_across_worker_counts() {
+        let render_traces = |workers: usize| -> Vec<(String, String)> {
+            let cache = CellCache::new();
+            cache.set_trace_capture(true);
+            let spec = tiny_spec();
+            let jobs = spec.jobs.clone();
+            run_sweep(vec![("tiny".into(), spec)], Scale::Quick, workers, &cache);
+            jobs.iter()
+                .map(|job| {
+                    let run = cache.get_or_run(job);
+                    let records = run.trace.as_ref().expect("capture was armed");
+                    assert!(!records.is_empty(), "{}", job.fingerprint());
+                    (
+                        job.fingerprint(),
+                        converge_trace::jsonl::render(&job.fingerprint(), records),
+                    )
+                })
+                .collect()
+        };
+        let serial = render_traces(1);
+        let parallel = render_traces(4);
+        assert_eq!(serial, parallel, "timelines must not depend on --jobs");
+    }
+
+    #[test]
+    fn trace_capture_is_off_by_default() {
+        let cache = CellCache::new();
+        let job = Job::new(tiny_cell(0.0), SimDuration::from_secs(5), 3);
+        assert!(!cache.trace_capture());
+        assert!(cache.get_or_run(&job).trace.is_none());
     }
 
     #[test]

@@ -11,17 +11,23 @@
 
 use std::collections::BTreeMap;
 
-use converge_net::PathId;
+use converge_net::{PathId, SimTime};
+use converge_trace::{TraceEvent, TraceHandle};
 
 /// A pluggable FEC rate policy.
 pub trait FecPolicy: std::fmt::Debug + Send {
     /// Short name for reporting.
     fn name(&self) -> &'static str;
 
+    /// Installs a trace handle. Policies that emit structured events store
+    /// it; the default ignores it.
+    fn set_trace(&mut self, _trace: TraceHandle) {}
+
     /// Number of repair packets to generate for `media_count` media packets
     /// destined to `path` whose current loss fraction is `loss`.
     fn repair_count(
         &mut self,
+        now: SimTime,
         path: PathId,
         media_count: usize,
         loss: f64,
@@ -41,6 +47,9 @@ pub trait FecPolicy: std::fmt::Debug + Send {
 #[derive(Debug, Default)]
 pub struct ConvergeFec {
     state: BTreeMap<PathId, PathFecState>,
+    trace: TraceHandle,
+    /// Last traced `(β‰, repair)` per path, to record changes only.
+    last_traced: BTreeMap<PathId, (u32, u32)>,
 }
 
 #[derive(Debug)]
@@ -81,8 +90,13 @@ impl FecPolicy for ConvergeFec {
         "converge-path-fec"
     }
 
+    fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
     fn repair_count(
         &mut self,
+        now: SimTime,
         path: PathId,
         media_count: usize,
         loss: f64,
@@ -105,7 +119,23 @@ impl FecPolicy for ConvergeFec {
         // FEC_i = l_i × P_i × β, rounded up so any nonzero loss on a
         // nonzero batch yields at least one repair packet.
         let fec = (l * media_count as f64 * s.beta).ceil() as usize;
-        fec.min(media_count)
+        let fec = fec.min(media_count);
+        if self.trace.is_enabled() {
+            let beta_milli = (self.beta(path) * 1000.0).round() as u32;
+            let key = (beta_milli, fec as u32);
+            if self.last_traced.insert(path, key) != Some(key) {
+                self.trace.emit(
+                    now,
+                    TraceEvent::FecUpdated {
+                        path,
+                        beta_milli,
+                        media: media_count as u32,
+                        repair: fec as u32,
+                    },
+                );
+            }
+        }
+        fec
     }
 
     fn on_nack(&mut self, path: PathId, nacked: usize) {
@@ -183,6 +213,7 @@ impl FecPolicy for WebRtcTableFec {
 
     fn repair_count(
         &mut self,
+        _now: SimTime,
         path: PathId,
         media_count: usize,
         loss: f64,
@@ -209,21 +240,21 @@ mod tests {
     #[test]
     fn converge_fec_proportional_to_loss() {
         let mut f = ConvergeFec::new();
-        assert_eq!(f.repair_count(P0, 30, 0.0, false), 0);
-        assert_eq!(f.repair_count(P0, 30, 0.10, false), 3);
-        assert_eq!(f.repair_count(P0, 60, 0.05, false), 3);
+        assert_eq!(f.repair_count(SimTime::ZERO, P0, 30, 0.0, false), 0);
+        assert_eq!(f.repair_count(SimTime::ZERO, P0, 30, 0.10, false), 3);
+        assert_eq!(f.repair_count(SimTime::ZERO, P0, 60, 0.05, false), 3);
     }
 
     #[test]
     fn converge_fec_rounds_up_small_losses() {
         let mut f = ConvergeFec::new();
-        assert_eq!(f.repair_count(P0, 10, 0.01, false), 1);
+        assert_eq!(f.repair_count(SimTime::ZERO, P0, 10, 0.01, false), 1);
     }
 
     #[test]
     fn converge_fec_capped_at_media_count() {
         let mut f = ConvergeFec::new();
-        assert_eq!(f.repair_count(P0, 5, 1.0, false), 5);
+        assert_eq!(f.repair_count(SimTime::ZERO, P0, 5, 1.0, false), 5);
     }
 
     #[test]
@@ -232,11 +263,11 @@ mod tests {
         f.on_batch_sent(P0, 20, 2);
         f.on_nack(P0, 6);
         // β = 1 + 6/(20-2) = 1.333…; FEC = 0.1 * 30 * 1.333 = 4.
-        let fec = f.repair_count(P0, 30, 0.10, false);
+        let fec = f.repair_count(SimTime::ZERO, P0, 30, 0.10, false);
         assert_eq!(fec, 4);
         assert!((f.beta(P0) - 1.3333).abs() < 0.001);
         // Without further NACKs β decays toward 1.
-        f.repair_count(P0, 30, 0.10, false);
+        f.repair_count(SimTime::ZERO, P0, 30, 0.10, false);
         assert!(f.beta(P0) < 1.3333);
     }
 
@@ -245,7 +276,7 @@ mod tests {
         let mut f = ConvergeFec::new();
         f.on_batch_sent(P0, 10, 1);
         f.on_nack(P0, 3);
-        f.repair_count(P0, 10, 0.1, false);
+        f.repair_count(SimTime::ZERO, P0, 10, 0.1, false);
         assert!(f.beta(P0) > 1.0);
         assert_eq!(f.beta(P1), 1.0);
     }
@@ -264,22 +295,22 @@ mod tests {
     fn webrtc_fec_heavy_at_low_loss() {
         let mut f = WebRtcTableFec::new();
         // 1% loss → ~40% overhead: 100 media → ~40 repair.
-        let fec = f.repair_count(P0, 100, 0.01, false);
+        let fec = f.repair_count(SimTime::ZERO, P0, 100, 0.01, false);
         assert_eq!(fec, 40);
     }
 
     #[test]
     fn webrtc_fec_doubles_keyframes() {
         let mut f = WebRtcTableFec::new();
-        let delta = f.repair_count(P0, 100, 0.01, false);
-        let key = f.repair_count(P0, 100, 0.01, true);
+        let delta = f.repair_count(SimTime::ZERO, P0, 100, 0.01, false);
+        let key = f.repair_count(SimTime::ZERO, P0, 100, 0.01, true);
         assert_eq!(key, delta * 2);
     }
 
     #[test]
     fn webrtc_fec_keyframe_rate_capped() {
         let mut f = WebRtcTableFec::new();
-        let key = f.repair_count(P0, 100, 0.5, true);
+        let key = f.repair_count(SimTime::ZERO, P0, 100, 0.5, true);
         assert_eq!(key, 80); // 2×0.675 capped at 0.8
     }
 
@@ -288,8 +319,8 @@ mod tests {
         let mut f = WebRtcTableFec::new();
         // Path 0 clean, path 1 at 10% — aggregate 5% drives BOTH paths'
         // protection, the waste Converge's path-specific design avoids.
-        f.repair_count(P1, 100, 0.10, false);
-        let clean_path_fec = f.repair_count(P0, 100, 0.0, false);
+        f.repair_count(SimTime::ZERO, P1, 100, 0.10, false);
+        let clean_path_fec = f.repair_count(SimTime::ZERO, P0, 100, 0.0, false);
         assert!(
             clean_path_fec > 0,
             "aggregate loss should leak to clean path"
@@ -300,8 +331,8 @@ mod tests {
     fn converge_cheaper_than_webrtc_at_low_loss() {
         let mut c = ConvergeFec::new();
         let mut w = WebRtcTableFec::new();
-        let c_fec = c.repair_count(P0, 100, 0.01, false);
-        let w_fec = w.repair_count(P0, 100, 0.01, false);
+        let c_fec = c.repair_count(SimTime::ZERO, P0, 100, 0.01, false);
+        let w_fec = w.repair_count(SimTime::ZERO, P0, 100, 0.01, false);
         assert!(
             c_fec * 5 <= w_fec,
             "converge {c_fec} should be ≤ 1/5 of webrtc {w_fec}"

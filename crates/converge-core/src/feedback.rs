@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 
 use converge_net::{PathId, SimDuration, SimTime};
 use converge_rtp::QoeFeedback;
+use converge_trace::{TraceEvent, TraceHandle};
 
 /// Per-frame, per-path arrival bookkeeping.
 #[derive(Debug, Default)]
@@ -40,6 +41,7 @@ pub struct QoeMonitor {
     /// Cooldown so one congestion event does not spray feedback every frame.
     last_feedback_at: Option<SimTime>,
     cooldown: SimDuration,
+    trace: TraceHandle,
 }
 
 impl QoeMonitor {
@@ -54,7 +56,14 @@ impl QoeMonitor {
             pending: Vec::new(),
             last_feedback_at: None,
             cooldown: SimDuration::from_millis(50),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Installs a trace handle; the monitor then emits a
+    /// [`TraceEvent::FeedbackEmitted`] per feedback message.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Updates the expected frame rate (from the sender's SDES message).
@@ -149,6 +158,14 @@ impl QoeMonitor {
                 fcd_micros: fcd.as_micros(),
             });
             self.last_feedback_at = Some(now);
+            self.trace.emit(
+                now,
+                TraceEvent::FeedbackEmitted {
+                    path,
+                    alpha: i64::from(-count),
+                    fcd_us: fcd.as_micros(),
+                },
+            );
             return;
         }
         // No late packets anywhere, yet IFD is high: some slow path
@@ -162,6 +179,14 @@ impl QoeMonitor {
                 fcd_micros: fcd.as_micros(),
             });
             self.last_feedback_at = Some(now);
+            self.trace.emit(
+                now,
+                TraceEvent::FeedbackEmitted {
+                    path,
+                    alpha: i64::from(count),
+                    fcd_us: fcd.as_micros(),
+                },
+            );
         }
     }
 
@@ -206,6 +231,11 @@ impl PathShare {
     /// Whether feedback has disabled the path.
     pub fn is_disabled(&self, path: PathId) -> bool {
         self.disabled.contains_key(&path)
+    }
+
+    /// The FCD recorded when `path` was disabled, if it currently is.
+    pub fn disabled_fcd(&self, path: PathId) -> Option<SimDuration> {
+        self.disabled.get(&path).map(|s| s.fcd)
     }
 
     /// Applies one feedback message (Eq. 2): adjusts the offset by α. The

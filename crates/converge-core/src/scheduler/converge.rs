@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 
 use converge_net::{PathId, SimDuration, SimTime};
 use converge_rtp::QoeFeedback;
+use converge_trace::{TraceEvent, TraceHandle};
 
 use crate::feedback::PathShare;
 use crate::metrics::PathMetrics;
@@ -67,6 +68,12 @@ pub struct ConvergeScheduler {
     /// the hysteresis window is ignored so the share does not oscillate
     /// back onto a path that just proved slow.
     last_negative: BTreeMap<PathId, SimTime>,
+    trace: TraceHandle,
+    /// Fast path of the previous batch, for switch-edge tracing.
+    last_fast: Option<PathId>,
+    /// Last traced per-path split counts, so the timeline records changes
+    /// rather than one event per batch per path.
+    last_split: BTreeMap<PathId, u32>,
 }
 
 impl ConvergeScheduler {
@@ -78,6 +85,9 @@ impl ConvergeScheduler {
             last_probe: BTreeMap::new(),
             last_feedback_fcd: SimDuration::from_millis(10),
             last_negative: BTreeMap::new(),
+            trace: TraceHandle::disabled(),
+            last_fast: None,
+            last_split: BTreeMap::new(),
         }
     }
 
@@ -98,9 +108,13 @@ impl Scheduler for ConvergeScheduler {
         "converge"
     }
 
+    fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
     fn assign_batch(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         packets: &[Schedulable],
         paths: &[PathMetrics],
     ) -> Vec<Assignment> {
@@ -127,6 +141,11 @@ impl Scheduler for ConvergeScheduler {
             self.config.max_packet_bytes,
         )
         .unwrap_or(usable[0].id);
+        if self.trace.is_enabled() && self.last_fast != Some(fast) {
+            self.last_fast = Some(fast);
+            self.trace
+                .emit(now, TraceEvent::FastPathSwitched { path: fast });
+        }
 
         // Per-path budget for the batch.
         let mut budget: BTreeMap<PathId, usize> = usable
@@ -224,6 +243,21 @@ impl Scheduler for ConvergeScheduler {
             .collect();
         if !media_idx.is_empty() {
             let counts = self.share.split(media_idx.len(), &usable, &budget);
+            if self.trace.is_enabled() {
+                for &(path, count) in &counts {
+                    let count = count as u32;
+                    if self.last_split.insert(path, count) != Some(count) {
+                        self.trace.emit(
+                            now,
+                            TraceEvent::SplitDecision {
+                                path,
+                                packets: count,
+                                offset: self.share.offset(path),
+                            },
+                        );
+                    }
+                }
+            }
             // Stale feedback fades after it has influenced this batch.
             if self.config.use_feedback {
                 self.share.decay_offsets();
@@ -240,7 +274,17 @@ impl Scheduler for ConvergeScheduler {
                         .map(|(_, c)| *c == 0)
                         .unwrap_or(false);
                     if share_zero && self.share.offset(p.id) < 0 && usable.len() > 1 {
+                        let newly = !self.share.is_disabled(p.id);
                         self.share.mark_disabled(p.id, self.last_feedback_fcd);
+                        if newly {
+                            self.trace.emit(
+                                now,
+                                TraceEvent::PathDisabled {
+                                    path: p.id,
+                                    fcd_us: self.last_feedback_fcd.as_micros(),
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -258,7 +302,7 @@ impl Scheduler for ConvergeScheduler {
             .collect()
     }
 
-    fn on_qoe_feedback(&mut self, _now: SimTime, fb: &QoeFeedback) {
+    fn on_qoe_feedback(&mut self, now: SimTime, fb: &QoeFeedback) {
         if !self.config.use_feedback {
             return;
         }
@@ -266,15 +310,23 @@ impl Scheduler for ConvergeScheduler {
         self.last_feedback_fcd = fcd;
         let path = PathId(fb.path_id);
         if fb.alpha < 0 {
-            self.last_negative.insert(path, _now);
+            self.last_negative.insert(path, now);
         } else if let Some(&neg_at) = self.last_negative.get(&path) {
             // Hysteresis: a path that was just reported slow must prove
             // itself before its share grows again.
-            if _now.saturating_since(neg_at) < SimDuration::from_secs(2) {
+            if now.saturating_since(neg_at) < SimDuration::from_secs(2) {
                 return;
             }
         }
         self.share.apply_feedback(path, fb.alpha, fcd);
+        self.trace.emit(
+            now,
+            TraceEvent::AlphaAdjusted {
+                path,
+                alpha: i64::from(fb.alpha),
+                offset: self.share.offset(path),
+            },
+        );
     }
 
     fn probe_paths(&mut self, now: SimTime, paths: &[PathMetrics]) -> Vec<PathId> {
@@ -302,8 +354,28 @@ impl Scheduler for ConvergeScheduler {
             .collect()
     }
 
-    fn on_probe_rtt(&mut self, path: PathId, rtt_fast: SimDuration, rtt_path: SimDuration) {
-        self.share.try_reenable(path, rtt_fast, rtt_path);
+    fn on_probe_rtt(
+        &mut self,
+        now: SimTime,
+        path: PathId,
+        rtt_fast: SimDuration,
+        rtt_path: SimDuration,
+    ) {
+        let threshold = self
+            .share
+            .disabled_fcd(path)
+            .map(|fcd| fcd.max(SimDuration::from_millis(5)));
+        if self.share.try_reenable(path, rtt_fast, rtt_path) {
+            let margin = rtt_fast.as_micros().abs_diff(rtt_path.as_micros()) / 2;
+            self.trace.emit(
+                now,
+                TraceEvent::PathReenabled {
+                    path,
+                    margin_us: margin,
+                    threshold_us: threshold.map(|t| t.as_micros()).unwrap_or(0),
+                },
+            );
+        }
     }
 }
 

@@ -43,6 +43,10 @@ pub trait Scheduler: std::fmt::Debug + Send {
     /// Short name for reporting.
     fn name(&self) -> &'static str;
 
+    /// Installs a trace handle. Schedulers that emit structured events
+    /// ([`converge_trace::TraceEvent`]) store it; the default ignores it.
+    fn set_trace(&mut self, _trace: converge_trace::TraceHandle) {}
+
     /// Assigns every packet in the batch to a path.
     fn assign_batch(
         &mut self,
@@ -86,7 +90,14 @@ pub trait Scheduler: std::fmt::Debug + Send {
 
     /// Delivers a probe RTT measurement for a (possibly disabled) path so
     /// the scheduler can evaluate Eq. 3 re-enablement. Default: ignored.
-    fn on_probe_rtt(&mut self, _path: PathId, _rtt_fast: SimDuration, _rtt_path: SimDuration) {}
+    fn on_probe_rtt(
+        &mut self,
+        _now: SimTime,
+        _path: PathId,
+        _rtt_fast: SimDuration,
+        _rtt_path: SimDuration,
+    ) {
+    }
 }
 
 /// Shared helper: maximum packets allowed on a path per batch interval,

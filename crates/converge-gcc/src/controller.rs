@@ -3,12 +3,13 @@
 //! controller and RTT tracking. Converge runs one instance per path
 //! (uncoupled congestion control, paper §4.1).
 
-use converge_net::{SimDuration, SimTime};
+use converge_net::{PathId, SimDuration, SimTime};
+use converge_trace::{GccUsage, TraceEvent, TraceHandle};
 
 use crate::aimd::{AimdConfig, AimdController};
 use crate::arrival::{InterArrival, PacketTiming};
 use crate::loss_based::{LossBasedConfig, LossBasedController};
-use crate::trendline::{TrendlineConfig, TrendlineEstimator};
+use crate::trendline::{BandwidthUsage, TrendlineConfig, TrendlineEstimator};
 
 /// Configuration of one per-path controller.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +50,11 @@ pub struct GccController {
     recent: std::collections::VecDeque<(SimTime, usize)>,
     srtt: Option<SimDuration>,
     last_fraction_lost: f64,
+    trace: TraceHandle,
+    /// Path this controller instance governs (for trace labelling).
+    trace_path: PathId,
+    last_traced_usage: Option<BandwidthUsage>,
+    last_traced_rate: Option<u64>,
 }
 
 impl GccController {
@@ -63,7 +69,18 @@ impl GccController {
             recent: std::collections::VecDeque::new(),
             srtt: None,
             last_fraction_lost: 0.0,
+            trace: TraceHandle::disabled(),
+            trace_path: PathId(0),
+            last_traced_usage: None,
+            last_traced_rate: None,
         }
+    }
+
+    /// Installs a trace handle and the path this controller governs; the
+    /// controller then emits detector-state and target-rate change events.
+    pub fn set_trace(&mut self, trace: TraceHandle, path: PathId) {
+        self.trace = trace;
+        self.trace_path = path;
     }
 
     /// Smoothed RTT of the path, if measured.
@@ -149,6 +166,42 @@ impl GccController {
             .update(now, self.trendline.state(), incoming, rtt_ms);
         // Keep the loss-based side from floating far above the delay side.
         self.loss.cap_to(delay_estimate * 2.0);
+
+        if self.trace.is_enabled() {
+            let usage = self.trendline.state();
+            if self.last_traced_usage != Some(usage) {
+                self.last_traced_usage = Some(usage);
+                let mapped = match usage {
+                    BandwidthUsage::Underusing => GccUsage::Underuse,
+                    BandwidthUsage::Normal => GccUsage::Normal,
+                    BandwidthUsage::Overusing => GccUsage::Overuse,
+                };
+                self.trace.emit(
+                    now,
+                    TraceEvent::GccStateChanged {
+                        path: self.trace_path,
+                        usage: mapped,
+                    },
+                );
+            }
+            // Rate changes are continuous under AIMD; record only moves of
+            // ≥5 % so the timeline captures the envelope, not every step.
+            let rate = self.target_rate_bps();
+            let moved = match self.last_traced_rate {
+                Some(prev) => rate.abs_diff(prev) * 20 >= prev.max(1),
+                None => true,
+            };
+            if moved {
+                self.last_traced_rate = Some(rate);
+                self.trace.emit(
+                    now,
+                    TraceEvent::GccRateChanged {
+                        path: self.trace_path,
+                        rate_bps: rate,
+                    },
+                );
+            }
+        }
     }
 
     /// Sets the AIMD growth-step scale (coupled congestion control).

@@ -12,6 +12,7 @@
 use std::collections::BTreeMap;
 
 use converge_net::{PathId, SimDuration, SimTime};
+use converge_trace::{LinkState, TraceEvent, TraceHandle};
 
 /// Liveness state of one path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +59,15 @@ impl Default for MonitorConfig {
 pub struct ConnectionMonitor {
     config: MonitorConfig,
     paths: BTreeMap<PathId, PathRecord>,
+    trace: TraceHandle,
+}
+
+fn link_state(state: PathState) -> LinkState {
+    match state {
+        PathState::Up => LinkState::Up,
+        PathState::Suspect => LinkState::Suspect,
+        PathState::Down => LinkState::Down,
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -83,7 +93,14 @@ impl ConnectionMonitor {
                     )
                 })
                 .collect(),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Installs a trace handle; the monitor then emits a
+    /// [`TraceEvent::MonitorEdge`] per state transition.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Current state of a path.
@@ -109,6 +126,13 @@ impl ConnectionMonitor {
         rec.last_heard = now;
         if rec.state != PathState::Up {
             rec.state = PathState::Up;
+            self.trace.emit(
+                now,
+                TraceEvent::MonitorEdge {
+                    path,
+                    state: LinkState::Up,
+                },
+            );
             return Some(PathEvent {
                 path,
                 state: PathState::Up,
@@ -140,6 +164,13 @@ impl ConnectionMonitor {
             );
             if degrade {
                 rec.state = next;
+                self.trace.emit(
+                    now,
+                    TraceEvent::MonitorEdge {
+                        path,
+                        state: link_state(next),
+                    },
+                );
                 events.push(PathEvent {
                     path,
                     state: next,

@@ -134,6 +134,7 @@ impl DuplexSession {
         }
 
         let end = SimTime::ZERO + cfg.duration;
+        let mut clock = SimTime::ZERO;
         loop {
             let pacer_next = endpoints
                 .iter()
@@ -147,6 +148,11 @@ impl DuplexSession {
                 Some(t) => t,
                 None => break,
             };
+            // The pacer reports a stale (past) `busy_until` for a path that
+            // went idle and was re-filled; clamp so simulated time never
+            // runs backwards.
+            let now = now.max(clock);
+            clock = now;
             if now >= end {
                 break;
             }
@@ -333,14 +339,15 @@ mod tests {
         for p in &mut scenario.paths {
             p.rate = converge_net::RateTrace::constant(rate_bps);
         }
-        SessionConfig::paper_default(
-            scenario,
-            SchedulerKind::Converge,
-            FecKind::Converge,
-            1,
-            converge_net::SimDuration::from_secs(secs),
-            17,
-        )
+        SessionConfig::builder()
+            .scenario(scenario)
+            .scheduler(SchedulerKind::Converge)
+            .fec(FecKind::Converge)
+            .streams(1)
+            .duration(converge_net::SimDuration::from_secs(secs))
+            .seed(17)
+            .build()
+            .expect("valid session config")
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub use payload::{NetPayload, RtpKind, SimRtp};
 pub use receiver::ConferenceReceiver;
 pub use scenarios::{FecKind, PathSpec, ScenarioConfig, SchedulerKind};
 pub use sender::{ConferenceSender, FrameTickResult, OutboundPacket, RateCoupling};
-pub use session::{Session, SessionConfig};
+pub use session::{ConfigError, Session, SessionConfig, SessionConfigBuilder};

@@ -72,6 +72,41 @@ pub struct PathCounters {
     pub packets_lost: u64,
 }
 
+/// Per-path deltas accumulated during one event-loop iteration. Packet
+/// events land here as plain integer adds; the maps and time-series bins
+/// are only touched when the batch is folded in (once per iteration).
+#[derive(Debug, Default, Clone, Copy)]
+struct PendingPath {
+    packets_sent: u64,
+    bytes_sent: u64,
+    fec_sent: u64,
+    media_sent: u64,
+    packets_received: u64,
+    packets_lost: u64,
+    media_bits: u64,
+}
+
+/// The per-tick batch. All packet events of one event-loop iteration
+/// share a timestamp, so one bin index covers the whole batch; an event
+/// with a new timestamp forces a flush first, which keeps the collector
+/// correct even if [`MetricsCollector::flush_tick`] is never called.
+#[derive(Debug, Default)]
+struct TickBatch {
+    at: Option<SimTime>,
+    /// Linear map: a tick touches at most a handful of paths.
+    paths: Vec<(PathId, PendingPath)>,
+}
+
+impl TickBatch {
+    fn path_mut(&mut self, path: PathId) -> &mut PendingPath {
+        if let Some(i) = self.paths.iter().position(|(p, _)| *p == path) {
+            return &mut self.paths[i].1;
+        }
+        self.paths.push((path, PendingPath::default()));
+        &mut self.paths.last_mut().expect("just pushed").1
+    }
+}
+
 /// The collector the simulation feeds while running.
 #[derive(Debug)]
 pub struct MetricsCollector {
@@ -85,6 +120,8 @@ pub struct MetricsCollector {
     paths: BTreeMap<PathId, PathCounters>,
     /// Bytes sent per second per path (for per-path rate plots).
     path_bins: BTreeMap<PathId, Vec<u64>>,
+    /// Packet counters staged for the current event-loop iteration.
+    pending: TickBatch,
 
     frames_encoded: u64,
     height_sum: u64,
@@ -131,6 +168,7 @@ impl MetricsCollector {
             bins: vec![SecondBin::default(); secs],
             paths: BTreeMap::new(),
             path_bins: BTreeMap::new(),
+            pending: TickBatch::default(),
             frames_encoded: 0,
             height_sum: 0,
             frames_decoded: 0,
@@ -170,6 +208,15 @@ impl MetricsCollector {
         bin.encoded_count += 1;
     }
 
+    /// Stages `at` as the pending batch's timestamp, flushing first if a
+    /// previous iteration's events are still staged.
+    fn stage(&mut self, at: SimTime) {
+        if self.pending.at != Some(at) {
+            self.flush_tick();
+            self.pending.at = Some(at);
+        }
+    }
+
     /// Records a packet sent on a path at `at`.
     pub fn on_packet_sent(
         &mut self,
@@ -179,35 +226,68 @@ impl MetricsCollector {
         is_fec: bool,
         is_media: bool,
     ) {
-        let c = self.paths.entry(path).or_default();
-        c.packets_sent += 1;
-        c.bytes_sent += bytes as u64;
+        self.stage(at);
+        let p = self.pending.path_mut(path);
+        p.packets_sent += 1;
+        p.bytes_sent += bytes as u64;
         if is_fec {
-            self.fec_packets_sent += 1;
+            p.fec_sent += 1;
         }
         if is_media {
-            self.media_packets_sent += 1;
+            p.media_sent += 1;
         }
-        let n_bins = self.bins.len();
-        let idx = (at.saturating_since(self.start).as_secs_f64() as usize)
-            .min(n_bins.saturating_sub(1));
-        let series = self
-            .path_bins
-            .entry(path)
-            .or_insert_with(|| vec![0; n_bins]);
-        series[idx] += bytes as u64;
     }
 
     /// Records a packet lost in the network.
     pub fn on_packet_lost(&mut self, path: PathId) {
-        self.paths.entry(path).or_default().packets_lost += 1;
+        self.pending.path_mut(path).packets_lost += 1;
     }
 
     /// Records a packet arrival; `media_payload` is the media bytes counted
     /// toward delivered throughput (0 for FEC/probe/control).
     pub fn on_packet_received(&mut self, at: SimTime, path: PathId, media_payload: usize) {
-        self.paths.entry(path).or_default().packets_received += 1;
-        self.bin_mut(at).media_bits += media_payload as u64 * 8;
+        self.stage(at);
+        let p = self.pending.path_mut(path);
+        p.packets_received += 1;
+        p.media_bits += media_payload as u64 * 8;
+    }
+
+    /// Folds the staged per-tick packet counters into the aggregate maps
+    /// and time-series bins. The session calls this once per event-loop
+    /// iteration; it also runs automatically when an event arrives with a
+    /// new timestamp and at the start of [`MetricsCollector::finish`].
+    pub fn flush_tick(&mut self) {
+        if self.pending.paths.is_empty() {
+            self.pending.at = None;
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let n_bins = self.bins.len();
+        let idx = batch.at.map(|t| {
+            (t.saturating_since(self.start).as_secs_f64() as usize).min(n_bins.saturating_sub(1))
+        });
+        let mut media_bits = 0u64;
+        for (path, p) in batch.paths {
+            let c = self.paths.entry(path).or_default();
+            c.packets_sent += p.packets_sent;
+            c.bytes_sent += p.bytes_sent;
+            c.packets_received += p.packets_received;
+            c.packets_lost += p.packets_lost;
+            self.fec_packets_sent += p.fec_sent;
+            self.media_packets_sent += p.media_sent;
+            media_bits += p.media_bits;
+            if p.bytes_sent > 0 {
+                if let Some(idx) = idx {
+                    let series = self.path_bins.entry(path).or_insert_with(|| vec![0; n_bins]);
+                    series[idx] += p.bytes_sent;
+                }
+            }
+        }
+        if media_bits > 0 {
+            if let Some(idx) = idx {
+                self.bins[idx].media_bits += media_bits;
+            }
+        }
     }
 
     /// Records a received FEC packet.
@@ -221,7 +301,14 @@ impl MetricsCollector {
     }
 
     /// Records a frame decoded at `at` that was captured at `captured`.
-    pub fn on_frame_decoded(&mut self, stream: StreamId, at: SimTime, e2e: SimDuration) {
+    /// Returns the decode gap when this frame ended a freeze (the gap
+    /// since the stream's previous decode exceeded the threshold).
+    pub fn on_frame_decoded(
+        &mut self,
+        stream: StreamId,
+        at: SimTime,
+        e2e: SimDuration,
+    ) -> Option<SimDuration> {
         self.frames_decoded += 1;
         self.e2e_us.push(e2e.as_micros());
         {
@@ -236,8 +323,10 @@ impl MetricsCollector {
             if gap > self.freeze_threshold {
                 self.freeze_total += gap - self.expected_frame_interval;
                 self.freeze_events += 1;
+                return Some(gap);
             }
         }
+        None
     }
 
     /// Records a dropped (never decoded) frame.
@@ -276,7 +365,8 @@ impl MetricsCollector {
     }
 
     /// Produces the final report.
-    pub fn finish(self) -> CallReport {
+    pub fn finish(mut self) -> CallReport {
+        self.flush_tick();
         let secs = self.duration.as_secs_f64();
         let media_bits: u64 = self.bins.iter().map(|b| b.media_bits).sum();
         let throughput_bps = media_bits as f64 / secs;

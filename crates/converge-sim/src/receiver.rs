@@ -30,6 +30,8 @@ pub enum ReceiverEvent {
     },
     /// A frame was abandoned.
     FrameDropped {
+        /// The stream the frame belonged to.
+        stream: StreamId,
         /// Why (packet-buffer evictions map to `BufferFull`).
         reason: converge_video::DropReason,
     },
@@ -177,6 +179,13 @@ impl ConferenceReceiver {
         self.pli_count
     }
 
+    /// Installs a trace handle on every stream's QoE monitor.
+    pub fn set_trace(&mut self, trace: converge_trace::TraceHandle) {
+        for rx in self.streams.values_mut() {
+            rx.monitor.set_trace(trace.clone());
+        }
+    }
+
     /// Updates which path the QoE monitors treat as the fast reference.
     pub fn set_fast_path(&mut self, path: PathId) {
         for rx in self.streams.values_mut() {
@@ -273,7 +282,15 @@ impl ConferenceReceiver {
             rx.frame_buffer.sps_received(packet.gop_id);
         } else {
             let pb_events = rx.packet_buffer.insert(now, &packet);
-            Self::process_pb_events(rx, now, pb_events, events, decode_latency, fec_penalty);
+            Self::process_pb_events(
+                rx,
+                packet.stream,
+                now,
+                pb_events,
+                events,
+                decode_latency,
+                fec_penalty,
+            );
         }
 
         // A late media packet may make a pending FEC group recoverable.
@@ -282,6 +299,7 @@ impl ConferenceReceiver {
 
     fn process_pb_events(
         rx: &mut StreamRx,
+        stream: StreamId,
         now: SimTime,
         pb_events: Vec<PacketBufferEvent>,
         events: &mut Vec<ReceiverEvent>,
@@ -319,7 +337,7 @@ impl ConferenceReceiver {
                             }
                             FrameBufferEvent::Dropped { frame_id, reason } => {
                                 rx.packet_buffer.purge_frame(frame_id);
-                                events.push(ReceiverEvent::FrameDropped { reason });
+                                events.push(ReceiverEvent::FrameDropped { stream, reason });
                             }
                             FrameBufferEvent::KeyframeNeeded => {
                                 rx.keyframe_needed = true;
@@ -329,6 +347,7 @@ impl ConferenceReceiver {
                 }
                 PacketBufferEvent::FrameEvicted { .. } => {
                     events.push(ReceiverEvent::FrameDropped {
+                        stream,
                         reason: converge_video::DropReason::BufferFull,
                     });
                 }
@@ -384,6 +403,7 @@ impl ConferenceReceiver {
                     let pb_events = rx.packet_buffer.insert(now, &packet);
                     Self::process_pb_events(
                         rx,
+                        stream,
                         now,
                         pb_events,
                         events,

@@ -7,7 +7,7 @@ use converge_core::{
 };
 use converge_net::{
     trace, Carrier, LinkConfig, LossModel, Path, PathId, QueueDiscipline, RateTrace, Scenario,
-    SimDuration,
+    SimDuration, SimTime,
 };
 
 /// Which scheduler to run.
@@ -112,7 +112,7 @@ impl FecPolicy for NoFec {
     fn name(&self) -> &'static str {
         "no-fec"
     }
-    fn repair_count(&mut self, _: PathId, _: usize, _: f64, _: bool) -> usize {
+    fn repair_count(&mut self, _: SimTime, _: PathId, _: usize, _: f64, _: bool) -> usize {
         0
     }
 }
@@ -387,7 +387,7 @@ mod tests {
     fn fec_kinds_build() {
         for kind in [FecKind::Converge, FecKind::WebRtcTable, FecKind::None] {
             let mut f = kind.build();
-            let n = f.repair_count(PathId(0), 100, 0.05, false);
+            let n = f.repair_count(SimTime::ZERO, PathId(0), 100, 0.05, false);
             match kind {
                 FecKind::None => assert_eq!(n, 0),
                 _ => assert!(n > 0),

@@ -8,6 +8,7 @@ use converge_gcc::{GccConfig, GccController, PacketTiming};
 use converge_net::{PathId, SimDuration, SimTime};
 use converge_rtp::RtcpPacket;
 use converge_signal::{ConnectionMonitor, MonitorConfig, PathState};
+use converge_trace::TraceHandle;
 use converge_video::{
     EncoderConfig, FrameType, Packetizer, PacketizerConfig, StreamId, VideoEncoder, VideoPacket,
 };
@@ -156,6 +157,17 @@ impl ConferenceSender {
     /// Switches the congestion-coupling mode (for the design ablation).
     pub fn set_coupling(&mut self, coupling: RateCoupling) {
         self.coupling = coupling;
+    }
+
+    /// Installs a trace handle on every sender-side component: scheduler,
+    /// FEC policy, per-path GCC controllers, and the connection monitor.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.scheduler.set_trace(trace.clone());
+        self.fec.set_trace(trace.clone());
+        for (&path, ctl) in self.gcc.iter_mut() {
+            ctl.set_trace(trace.clone(), path);
+        }
+        self.monitor.set_trace(trace);
     }
 
     /// Number of camera streams.
@@ -314,7 +326,7 @@ impl ConferenceSender {
                 .map(|m| m.loss)
                 .unwrap_or(0.0);
             let is_key = keyframe_by_path.get(&path).copied().unwrap_or(false);
-            let n_fec = self.fec.repair_count(path, media.len(), loss, is_key);
+            let n_fec = self.fec.repair_count(now, path, media.len(), loss, is_key);
             self.fec.on_batch_sent(path, media.len(), n_fec);
             if n_fec == 0 {
                 continue;
@@ -546,7 +558,7 @@ impl ConferenceSender {
             .map(|m| m.srtt)
             .min()
             .unwrap_or(SimDuration::from_millis(100));
-        self.scheduler.on_probe_rtt(path, rtt_fast, rtt);
+        self.scheduler.on_probe_rtt(now, path, rtt_fast, rtt);
     }
 
     fn lookup_media(&self, stream: StreamId, seq16: u16) -> Option<(VideoPacket, PathId)> {

@@ -8,6 +8,7 @@ use converge_core::PacketClass;
 use converge_gcc::GccConfig;
 use converge_net::{event::EventQueue, Direction, NetworkEmulator, PathId, SimDuration, SimTime};
 use converge_rtp::RtcpPacket;
+use converge_trace::{TraceEvent, TraceHandle};
 
 use crate::metrics::{CallReport, MetricsCollector};
 use crate::pacer::{Pacer, PacerConfig};
@@ -40,10 +41,196 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Congestion-controller coupling (uncoupled = the paper's choice).
     pub coupled_cc: bool,
+    /// Structured-event sink; disabled by default (zero overhead).
+    pub trace: TraceHandle,
+}
+
+/// Why a [`SessionConfigBuilder`] refused to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// No scenario was supplied.
+    MissingScenario,
+    /// The scenario has no paths.
+    EmptyScenario,
+    /// `streams` was zero.
+    NoStreams,
+    /// `duration` was zero.
+    ZeroDuration,
+    /// `max_encoding_rate_bps` was zero.
+    ZeroEncodingRate,
+    /// An RTCP interval was zero (the session loop would spin).
+    ZeroRtcpInterval,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ConfigError::MissingScenario => "no scenario supplied",
+            ConfigError::EmptyScenario => "scenario has no paths",
+            ConfigError::NoStreams => "streams must be at least 1",
+            ConfigError::ZeroDuration => "duration must be positive",
+            ConfigError::ZeroEncodingRate => "max encoding rate must be positive",
+            ConfigError::ZeroRtcpInterval => "RTCP intervals must be positive",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Typed builder for [`SessionConfig`]; validates at [`build`].
+///
+/// Defaults match the paper's standard setup: Converge scheduler and FEC,
+/// one stream, 3-minute call, 10 Mbps encoder cap, 100 ms QoE feedback,
+/// 250 ms transport feedback, uncoupled congestion control, tracing off.
+///
+/// [`build`]: SessionConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct SessionConfigBuilder {
+    scenario: Option<ScenarioConfig>,
+    scheduler: SchedulerKind,
+    fec: FecKind,
+    streams: u8,
+    duration: SimDuration,
+    max_encoding_rate_bps: u64,
+    rtcp_interval: SimDuration,
+    transport_rtcp_interval: SimDuration,
+    seed: u64,
+    coupled_cc: bool,
+    trace: TraceHandle,
+}
+
+impl Default for SessionConfigBuilder {
+    fn default() -> Self {
+        SessionConfigBuilder {
+            scenario: None,
+            scheduler: SchedulerKind::Converge,
+            fec: FecKind::Converge,
+            streams: 1,
+            duration: SimDuration::from_secs(180),
+            max_encoding_rate_bps: 10_000_000,
+            rtcp_interval: SimDuration::from_millis(100),
+            transport_rtcp_interval: SimDuration::from_millis(250),
+            seed: 0,
+            coupled_cc: false,
+            trace: TraceHandle::disabled(),
+        }
+    }
+}
+
+impl SessionConfigBuilder {
+    /// The network scenario (required).
+    pub fn scenario(mut self, scenario: ScenarioConfig) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// The scheduler under test.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The FEC policy under test.
+    pub fn fec(mut self, fec: FecKind) -> Self {
+        self.fec = fec;
+        self
+    }
+
+    /// Number of camera streams (1–3 in the paper).
+    pub fn streams(mut self, streams: u8) -> Self {
+        self.streams = streams;
+        self
+    }
+
+    /// Call duration.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Maximum encoding rate per stream, bits per second.
+    pub fn max_encoding_rate_bps(mut self, rate: u64) -> Self {
+        self.max_encoding_rate_bps = rate;
+        self
+    }
+
+    /// Fast RTCP interval at the receiver (QoE feedback, NACK, PLI).
+    pub fn rtcp_interval(mut self, interval: SimDuration) -> Self {
+        self.rtcp_interval = interval;
+        self
+    }
+
+    /// Transport feedback / receiver report interval (drives GCC).
+    pub fn transport_rtcp_interval(mut self, interval: SimDuration) -> Self {
+        self.transport_rtcp_interval = interval;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Couples the per-path congestion controllers (LIA-style).
+    pub fn coupled_cc(mut self, coupled: bool) -> Self {
+        self.coupled_cc = coupled;
+        self
+    }
+
+    /// Installs a structured-event trace sink.
+    pub fn trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<SessionConfig, ConfigError> {
+        let scenario = self.scenario.ok_or(ConfigError::MissingScenario)?;
+        if scenario.paths.is_empty() {
+            return Err(ConfigError::EmptyScenario);
+        }
+        if self.streams == 0 {
+            return Err(ConfigError::NoStreams);
+        }
+        if self.duration == SimDuration::ZERO {
+            return Err(ConfigError::ZeroDuration);
+        }
+        if self.max_encoding_rate_bps == 0 {
+            return Err(ConfigError::ZeroEncodingRate);
+        }
+        if self.rtcp_interval == SimDuration::ZERO
+            || self.transport_rtcp_interval == SimDuration::ZERO
+        {
+            return Err(ConfigError::ZeroRtcpInterval);
+        }
+        Ok(SessionConfig {
+            scenario,
+            scheduler: self.scheduler,
+            fec: self.fec,
+            streams: self.streams,
+            duration: self.duration,
+            max_encoding_rate_bps: self.max_encoding_rate_bps,
+            rtcp_interval: self.rtcp_interval,
+            transport_rtcp_interval: self.transport_rtcp_interval,
+            seed: self.seed,
+            coupled_cc: self.coupled_cc,
+            trace: self.trace,
+        })
+    }
 }
 
 impl SessionConfig {
+    /// Starts a builder with the paper's standard defaults.
+    pub fn builder() -> SessionConfigBuilder {
+        SessionConfigBuilder::default()
+    }
+
     /// The paper's standard setup over the given scenario/scheduler/FEC.
+    ///
+    /// Thin wrapper over [`SessionConfig::builder`]; panics if the
+    /// arguments fail validation (empty scenario, zero streams/duration).
     pub fn paper_default(
         scenario: ScenarioConfig,
         scheduler: SchedulerKind,
@@ -52,18 +239,15 @@ impl SessionConfig {
         duration: SimDuration,
         seed: u64,
     ) -> Self {
-        SessionConfig {
-            scenario,
-            scheduler,
-            fec,
-            streams,
-            duration,
-            max_encoding_rate_bps: 10_000_000,
-            rtcp_interval: SimDuration::from_millis(100),
-            transport_rtcp_interval: SimDuration::from_millis(250),
-            seed,
-            coupled_cc: false,
-        }
+        SessionConfig::builder()
+            .scenario(scenario)
+            .scheduler(scheduler)
+            .fec(fec)
+            .streams(streams)
+            .duration(duration)
+            .seed(seed)
+            .build()
+            .expect("paper_default arguments must form a valid config")
     }
 }
 
@@ -117,6 +301,10 @@ impl Session {
         let mut receiver = ConferenceReceiver::new(cfg.streams, &path_ids, format.fps, path_ids[0]);
         let mut pacer = Pacer::new(PacerConfig::default());
 
+        let trace = cfg.trace.clone();
+        sender.set_trace(trace.clone());
+        receiver.set_trace(trace.clone());
+
         // SR bookkeeping at the receiver for RTT echo: path → (SR send ms,
         // SR arrival).
         let mut sr_seen: BTreeMap<PathId, (u64, SimTime)> = BTreeMap::new();
@@ -131,6 +319,7 @@ impl Session {
         timers.schedule(SimTime::from_millis(40), Tick::SenderRtcp);
 
         let end = SimTime::ZERO + cfg.duration;
+        let mut clock = SimTime::ZERO;
 
         loop {
             // Next event: earliest of timers, network deliveries, and the
@@ -140,6 +329,11 @@ impl Session {
                 Some(t) => t,
                 None => break,
             };
+            // The pacer reports a stale (past) `busy_until` for a path that
+            // went idle and was re-filled; clamp so simulated time never
+            // runs backwards.
+            let now = now.max(clock);
+            clock = now;
             if now >= end {
                 break;
             }
@@ -155,6 +349,7 @@ impl Session {
                 metrics.on_packet_sent(now, out.path, size, is_fec, is_media);
                 if out.class == PacketClass::Retransmission {
                     metrics.on_retransmission();
+                    trace.emit(now, TraceEvent::Retransmitted { path: out.path });
                 }
                 let (outcome, _) = emu.send(out.path, Direction::Forward, now, size, out.payload);
                 if outcome.is_lost() {
@@ -182,7 +377,7 @@ impl Session {
                         };
                         metrics.on_packet_received(now, delivery.path, media_payload);
                         for ev in receiver.on_rtp(now, &rtp) {
-                            Self::record_receiver_event(&mut metrics, now, ev);
+                            Self::record_receiver_event(&mut metrics, &trace, now, ev);
                         }
                     }
                     (Direction::Forward, NetPayload::Rtcp(rtcp)) => {
@@ -201,10 +396,15 @@ impl Session {
                     }
                     (Direction::Reverse, NetPayload::Rtcp(rtcp)) => {
                         // Receiver → sender feedback.
-                        if matches!(rtcp, RtcpPacket::Nack(_)) {
-                            if let RtcpPacket::Nack(ref n) = rtcp {
-                                metrics.on_nack_sent(n.lost.len());
-                            }
+                        if let RtcpPacket::Nack(ref n) = rtcp {
+                            metrics.on_nack_sent(n.lost.len());
+                            trace.emit(
+                                now,
+                                TraceEvent::NackSent {
+                                    path: delivery.path,
+                                    packets: n.lost.len() as u32,
+                                },
+                            );
                         }
                         if matches!(rtcp, RtcpPacket::Pli(_)) {
                             metrics.on_keyframe_request();
@@ -259,6 +459,9 @@ impl Session {
                     }
                 }
             }
+
+            // Fold the tick's packet counters into the aggregates in one go.
+            metrics.flush_tick();
         }
 
         // Frames the encoder produced but the receiver never displayed are
@@ -267,12 +470,32 @@ impl Session {
         metrics.finish()
     }
 
-    fn record_receiver_event(metrics: &mut MetricsCollector, now: SimTime, ev: ReceiverEvent) {
+    fn record_receiver_event(
+        metrics: &mut MetricsCollector,
+        trace: &TraceHandle,
+        now: SimTime,
+        ev: ReceiverEvent,
+    ) {
         match ev {
             ReceiverEvent::FrameDecoded { stream, at, e2e } => {
-                metrics.on_frame_decoded(stream, at, e2e);
+                // Stamp with `now`, not the decode instant: the frame
+                // buffer may date decodes to a future playout deadline,
+                // and the trace timeline must stay monotone.
+                trace.emit(
+                    now,
+                    TraceEvent::FrameDecoded {
+                        stream: stream.0,
+                        e2e_us: e2e.as_micros(),
+                    },
+                );
+                if let Some(gap) = metrics.on_frame_decoded(stream, at, e2e) {
+                    trace.emit(now, TraceEvent::FrameFrozen { gap_us: gap.as_micros() });
+                }
             }
-            ReceiverEvent::FrameDropped { .. } => metrics.on_frame_dropped(now),
+            ReceiverEvent::FrameDropped { stream, .. } => {
+                trace.emit(now, TraceEvent::FrameDropped { stream: stream.0 });
+                metrics.on_frame_dropped(now);
+            }
             ReceiverEvent::Ifd { at, ifd } => metrics.on_ifd(at, ifd),
             ReceiverEvent::Fcd { at, fcd } => metrics.on_fcd(at, fcd),
             ReceiverEvent::FecRecovered => metrics.on_fec_used(),
@@ -364,6 +587,126 @@ mod tests {
             table.fec_overhead_pct(),
             conv.fec_overhead_pct()
         );
+    }
+
+    #[test]
+    fn builder_defaults_match_paper_default() {
+        let built = SessionConfig::builder()
+            .scenario(ScenarioConfig::fec_tradeoff(0.0))
+            .build()
+            .expect("valid");
+        let legacy = SessionConfig::paper_default(
+            ScenarioConfig::fec_tradeoff(0.0),
+            SchedulerKind::Converge,
+            FecKind::Converge,
+            1,
+            SimDuration::from_secs(180),
+            0,
+        );
+        assert_eq!(built.streams, legacy.streams);
+        assert_eq!(built.duration, legacy.duration);
+        assert_eq!(built.max_encoding_rate_bps, legacy.max_encoding_rate_bps);
+        assert_eq!(built.rtcp_interval, legacy.rtcp_interval);
+        assert_eq!(
+            built.transport_rtcp_interval,
+            legacy.transport_rtcp_interval
+        );
+        assert_eq!(built.seed, legacy.seed);
+        assert_eq!(built.coupled_cc, legacy.coupled_cc);
+        assert!(!built.trace.is_enabled());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        use crate::session::ConfigError;
+        let base = || SessionConfig::builder().scenario(ScenarioConfig::fec_tradeoff(0.0));
+
+        assert_eq!(
+            SessionConfig::builder().build().unwrap_err(),
+            ConfigError::MissingScenario
+        );
+        assert_eq!(
+            SessionConfig::builder()
+                .scenario(ScenarioConfig {
+                    name: "empty".into(),
+                    paths: vec![],
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::EmptyScenario
+        );
+        assert_eq!(
+            base().streams(0).build().unwrap_err(),
+            ConfigError::NoStreams
+        );
+        assert_eq!(
+            base().duration(SimDuration::ZERO).build().unwrap_err(),
+            ConfigError::ZeroDuration
+        );
+        assert_eq!(
+            base().max_encoding_rate_bps(0).build().unwrap_err(),
+            ConfigError::ZeroEncodingRate
+        );
+        assert_eq!(
+            base().rtcp_interval(SimDuration::ZERO).build().unwrap_err(),
+            ConfigError::ZeroRtcpInterval
+        );
+        assert_eq!(
+            base()
+                .transport_rtcp_interval(SimDuration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroRtcpInterval
+        );
+        // Errors display something human-readable.
+        assert!(!ConfigError::NoStreams.to_string().is_empty());
+    }
+
+    #[test]
+    fn session_with_ring_sink_captures_events() {
+        use std::sync::Arc;
+        let sink = Arc::new(converge_trace::RingSink::new(1 << 20));
+        let cfg = SessionConfig::builder()
+            .scenario(ScenarioConfig::fec_tradeoff(2.0))
+            .duration(SimDuration::from_secs(10))
+            .seed(9)
+            .trace(TraceHandle::new(sink.clone()))
+            .build()
+            .expect("valid");
+        let _report = Session::new(cfg).run();
+        let records = sink.drain();
+        assert!(!records.is_empty(), "traced session must emit events");
+        // Timestamps are monotone non-decreasing.
+        assert!(records.windows(2).all(|w| w[0].at <= w[1].at));
+        // Core event families show up on a lossy call.
+        let names: std::collections::BTreeSet<&str> =
+            records.iter().map(|r| r.event.name()).collect();
+        for expected in ["split_decision", "fast_path_switched", "frame_decoded"] {
+            assert!(names.contains(expected), "missing {expected} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn trace_does_not_perturb_the_run() {
+        use std::sync::Arc;
+        let base = || {
+            SessionConfig::builder()
+                .scenario(ScenarioConfig::fec_tradeoff(2.0))
+                .duration(SimDuration::from_secs(10))
+                .seed(5)
+        };
+        let plain = Session::new(base().build().expect("valid")).run();
+        let sink = Arc::new(converge_trace::RingSink::new(1 << 20));
+        let traced = Session::new(
+            base()
+                .trace(TraceHandle::new(sink))
+                .build()
+                .expect("valid"),
+        )
+        .run();
+        assert_eq!(plain.frames_decoded, traced.frames_decoded);
+        assert_eq!(plain.throughput_bps, traced.throughput_bps);
+        assert_eq!(plain.nacks_sent, traced.nacks_sent);
     }
 
     #[test]

@@ -32,14 +32,15 @@ fn run_call(label: &str, multipath: bool) {
     } else {
         FecKind::WebRtcTable
     };
-    let config = SessionConfig::paper_default(
-        ScenarioConfig::walking(duration, 11),
-        scheduler,
-        fec,
-        1,
-        duration,
-        11,
-    );
+    let config = SessionConfig::builder()
+        .scenario(ScenarioConfig::walking(duration, 11))
+        .scheduler(scheduler)
+        .fec(fec)
+        .streams(1)
+        .duration(duration)
+        .seed(11)
+        .build()
+        .expect("valid session config");
     let r = Session::new(config).run();
     println!(
         "  {label}: {:.1} fps, {:.2} Mbps, {:.0} ms freezes",

@@ -21,14 +21,15 @@ fn main() {
 
     for loss_pct in [0.0, 1.0, 2.0, 5.0, 10.0] {
         for fec in [FecKind::WebRtcTable, FecKind::Converge] {
-            let config = SessionConfig::paper_default(
-                ScenarioConfig::fec_tradeoff(loss_pct),
-                SchedulerKind::Converge,
-                fec,
-                1,
-                duration,
-                7,
-            );
+            let config = SessionConfig::builder()
+                .scenario(ScenarioConfig::fec_tradeoff(loss_pct))
+                .scheduler(SchedulerKind::Converge)
+                .fec(fec)
+                .streams(1)
+                .duration(duration)
+                .seed(7)
+                .build()
+                .expect("valid session config");
             let r = Session::new(config).run();
             let label = match fec {
                 FecKind::Converge => "converge",

@@ -28,14 +28,15 @@ fn main() {
 
     for streams in 1..=3u8 {
         for (scheduler, fec) in systems {
-            let config = SessionConfig::paper_default(
-                ScenarioConfig::driving(duration, 42),
-                scheduler,
-                fec,
-                streams,
-                duration,
-                42,
-            );
+            let config = SessionConfig::builder()
+                .scenario(ScenarioConfig::driving(duration, 42))
+                .scheduler(scheduler)
+                .fec(fec)
+                .streams(streams)
+                .duration(duration)
+                .seed(42)
+                .build()
+                .expect("valid session config");
             let r = Session::new(config).run();
             println!(
                 "{:<22} {:>8} {:>10.1} {:>10.0} {:>12.1} {:>10.1}",

@@ -13,14 +13,15 @@ fn main() {
     // Two emulated cellular paths with driving-grade bandwidth dynamics.
     let scenario = ScenarioConfig::driving(duration, 42);
 
-    let config = SessionConfig::paper_default(
-        scenario,
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        /* camera streams */ 1,
-        duration,
-        /* seed */ 42,
-    );
+    let config = SessionConfig::builder()
+        .scenario(scenario)
+        .scheduler(SchedulerKind::Converge)
+        .fec(FecKind::Converge)
+        .streams(1)
+        .duration(duration)
+        .seed(42)
+        .build()
+        .expect("valid session config");
 
     println!("Running a 60 s Converge call over two emulated driving paths...");
     let report = Session::new(config).run();

@@ -66,14 +66,15 @@ fn main() {
             .join(", ")
     );
 
-    let config = SessionConfig::paper_default(
-        scenario.clone(),
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
-        duration,
-        42,
-    );
+    let config = SessionConfig::builder()
+        .scenario(scenario.clone())
+        .scheduler(SchedulerKind::Converge)
+        .fec(FecKind::Converge)
+        .streams(1)
+        .duration(duration)
+        .seed(42)
+        .build()
+        .expect("valid session config");
     let r = Session::new(config).run();
 
     println!();

@@ -12,14 +12,15 @@ use converge_sim::{DuplexSession, FecKind, ScenarioConfig, SchedulerKind, Sessio
 
 fn main() {
     let duration = SimDuration::from_secs(45);
-    let config = SessionConfig::paper_default(
-        ScenarioConfig::walking(duration, 23),
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
-        duration,
-        23,
-    );
+    let config = SessionConfig::builder()
+        .scenario(ScenarioConfig::walking(duration, 23))
+        .scheduler(SchedulerKind::Converge)
+        .fec(FecKind::Converge)
+        .streams(1)
+        .duration(duration)
+        .seed(23)
+        .build()
+        .expect("valid session config");
 
     println!("Running a 45 s two-way Converge call over the walking scenario...");
     let (a_to_b, b_to_a) = DuplexSession::new(config).run();

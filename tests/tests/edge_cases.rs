@@ -11,16 +11,27 @@ fn scenario_with(paths: Vec<PathSpec>) -> ScenarioConfig {
     }
 }
 
+/// The Converge system (scheduler + FEC, one stream) on a given scenario,
+/// via the validating builder.
+fn converge_cfg(scenario: ScenarioConfig, secs: u64, seed: u64) -> SessionConfig {
+    SessionConfig::builder()
+        .scenario(scenario)
+        .scheduler(SchedulerKind::Converge)
+        .fec(FecKind::Converge)
+        .streams(1)
+        .duration(SimDuration::from_secs(secs))
+        .seed(seed)
+        .build()
+        .expect("valid session config")
+}
+
 #[test]
 fn single_path_scenario_works_for_multipath_scheduler() {
     // Converge over exactly one path degenerates to single-path WebRTC
     // (the backward-compatibility story of paper section 5).
-    let cfg = SessionConfig::paper_default(
+    let cfg = converge_cfg(
         scenario_with(vec![PathSpec::constant(12_000_000, 30, 0.0)]),
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
-        SimDuration::from_secs(15),
+        15,
         2,
     );
     let r = Session::new(cfg).run();
@@ -30,16 +41,13 @@ fn single_path_scenario_works_for_multipath_scheduler() {
 
 #[test]
 fn three_paths_all_carry_load() {
-    let cfg = SessionConfig::paper_default(
+    let cfg = converge_cfg(
         scenario_with(vec![
             PathSpec::constant(6_000_000, 20, 0.0),
             PathSpec::constant(6_000_000, 40, 0.0),
             PathSpec::constant(6_000_000, 60, 0.0),
         ]),
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
-        SimDuration::from_secs(20),
+        20,
         6,
     );
     let r = Session::new(cfg).run();
@@ -62,15 +70,12 @@ fn three_paths_all_carry_load() {
 
 #[test]
 fn wildly_asymmetric_paths_prefer_the_fat_one() {
-    let cfg = SessionConfig::paper_default(
+    let cfg = converge_cfg(
         scenario_with(vec![
             PathSpec::constant(20_000_000, 15, 0.0),
             PathSpec::constant(300_000, 200, 2.0),
         ]),
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
-        SimDuration::from_secs(20),
+        20,
         8,
     );
     let r = Session::new(cfg).run();
@@ -82,14 +87,7 @@ fn wildly_asymmetric_paths_prefer_the_fat_one() {
 
 #[test]
 fn very_short_call_terminates_cleanly() {
-    let cfg = SessionConfig::paper_default(
-        ScenarioConfig::fec_tradeoff(0.0),
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
-        SimDuration::from_secs(1),
-        1,
-    );
+    let cfg = converge_cfg(ScenarioConfig::fec_tradeoff(0.0), 1, 1);
     let r = Session::new(cfg).run();
     assert_eq!(r.bins.len(), 1);
     assert!(r.frames_encoded >= 25);
@@ -103,12 +101,9 @@ fn zero_rate_path_does_not_wedge_the_session() {
         rate: RateTrace::constant(0),
         ..PathSpec::constant(0, 50, 0.0)
     };
-    let cfg = SessionConfig::paper_default(
+    let cfg = converge_cfg(
         scenario_with(vec![PathSpec::constant(12_000_000, 25, 0.0), dead]),
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
-        SimDuration::from_secs(15),
+        15,
         4,
     );
     let r = Session::new(cfg).run();
@@ -117,14 +112,7 @@ fn zero_rate_path_does_not_wedge_the_session() {
 
 #[test]
 fn heavy_loss_call_degrades_but_survives() {
-    let cfg = SessionConfig::paper_default(
-        ScenarioConfig::fec_tradeoff(15.0),
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
-        SimDuration::from_secs(20),
-        3,
-    );
+    let cfg = converge_cfg(ScenarioConfig::fec_tradeoff(15.0), 20, 3);
     let r = Session::new(cfg).run();
     // 15% loss on both paths is brutal (a ~25-packet frame rarely arrives
     // whole); FEC + NACK must still salvage a substantial fraction.

@@ -14,11 +14,16 @@ fn run(
     secs: u64,
     seed: u64,
 ) -> converge_sim::CallReport {
-    let duration = SimDuration::from_secs(secs);
-    Session::new(SessionConfig::paper_default(
-        scenario, scheduler, fec, streams, duration, seed,
-    ))
-    .run()
+    let config = SessionConfig::builder()
+        .scenario(scenario)
+        .scheduler(scheduler)
+        .fec(fec)
+        .streams(streams)
+        .duration(SimDuration::from_secs(secs))
+        .seed(seed)
+        .build()
+        .expect("valid session config");
+    Session::new(config).run()
 }
 
 #[test]

@@ -5,6 +5,20 @@
 use converge_net::SimDuration;
 use converge_sim::{FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig};
 
+/// The Converge system (scheduler + FEC, one stream) via the validating
+/// builder.
+fn converge_cfg(scenario: ScenarioConfig, duration: SimDuration, seed: u64) -> SessionConfig {
+    SessionConfig::builder()
+        .scenario(scenario)
+        .scheduler(SchedulerKind::Converge)
+        .fec(FecKind::Converge)
+        .streams(1)
+        .duration(duration)
+        .seed(seed)
+        .build()
+        .expect("valid session config")
+}
+
 /// Regression for the 16-bit transport-sequence wrap: a high-rate path
 /// crosses 65 536 packets after ~2 minutes; before the unwrap fix, GCC
 /// went blind there and the tail of every long call degenerated into a
@@ -15,14 +29,7 @@ fn no_degradation_after_transport_sequence_wrap() {
     // Clean fast paths so the sender sustains ~10 Mbps: the wrap happens
     // near t = 65 536 × 1250 B × 8 / 10 Mbps ≈ 65 s per path at full rate,
     // comfortably inside the run.
-    let cfg = SessionConfig::paper_default(
-        ScenarioConfig::fec_tradeoff(0.0),
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
-        duration,
-        5,
-    );
+    let cfg = converge_cfg(ScenarioConfig::fec_tradeoff(0.0), duration, 5);
     let report = Session::new(cfg).run();
 
     // Total packets on the busiest path must actually have wrapped,
@@ -80,14 +87,7 @@ fn jitter_reordering_absorbed_without_nack_storm() {
     let mut scenario = ScenarioConfig::fec_tradeoff(0.0);
     scenario.paths[0].jitter = SimDuration::from_millis(10);
     scenario.paths[1].jitter = SimDuration::from_millis(10);
-    let cfg = SessionConfig::paper_default(
-        scenario,
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
-        duration,
-        9,
-    );
+    let cfg = converge_cfg(scenario, duration, 9);
     let report = Session::new(cfg).run();
     assert!(
         report.fps > 25.0,
@@ -113,7 +113,7 @@ fn jitter_reordering_absorbed_without_nack_storm() {
 #[test]
 fn resolution_adapts_end_to_end() {
     // Two thin 1.5 Mbps paths: ~3 Mbps aggregate cannot carry 720p well.
-    let starved = SessionConfig::paper_default(
+    let starved = converge_cfg(
         ScenarioConfig {
             name: "starved".into(),
             paths: vec![
@@ -121,9 +121,6 @@ fn resolution_adapts_end_to_end() {
                 converge_sim::scenarios::PathSpec::constant(1_500_000, 30, 0.0),
             ],
         },
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
         SimDuration::from_secs(30),
         3,
     );
@@ -134,11 +131,8 @@ fn resolution_adapts_end_to_end() {
         r.avg_encoded_height
     );
 
-    let rich = SessionConfig::paper_default(
+    let rich = converge_cfg(
         ScenarioConfig::fec_tradeoff(0.0),
-        SchedulerKind::Converge,
-        FecKind::Converge,
-        1,
         SimDuration::from_secs(30),
         3,
     );
