@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: lint, build, unit/integration tests, a quick-scale smoke
 # run of the full experiment sweep on 2 workers (exercises the
-# work-stealing pool, the memo cache, and the bench-report writer), and a
-# traced experiment run with JSONL timeline validation.
+# work-stealing pool, the memo cache, and the bench-report writer), a
+# traced experiment run with JSONL timeline validation, and the chaos
+# fault-injection matrix with the invariant checker armed.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,5 +35,13 @@ for f in results/traces/*.jsonl; do
     '
     test -s "${f%.jsonl}.timeline.txt"
 done
+
+# Chaos gate: the fault-injection matrix (scheduler x impairment x seed)
+# with every timeline replayed through the control-loop invariant rules;
+# --check-invariants exits non-zero on any violation.
+cargo run --release -p converge-bench --bin experiments -- \
+    chaos --quick --jobs 2 --check-invariants > results/smoke_chaos.txt
+test -s results/smoke_chaos.txt
+grep -q 'Chaos matrix' results/smoke_chaos.txt
 
 echo "ci: ok"

@@ -6,6 +6,7 @@
 //! work-stealing pool with cross-experiment memoization.
 
 pub mod ablations;
+pub mod chaos;
 pub mod fec_tradeoff;
 pub mod fig1;
 pub mod fig11_table4;
@@ -174,6 +175,12 @@ pub fn registry() -> Vec<ExperimentDef> {
             aliases: &[],
             desc: "ablation: coupled vs uncoupled per-path CC",
             spec: ablations::spec_coupling,
+        },
+        ExperimentDef {
+            id: "chaos",
+            aliases: &[],
+            desc: "fault-injection matrix: scheduler x impairment x seed",
+            spec: chaos::spec,
         },
     ]
 }

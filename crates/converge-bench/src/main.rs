@@ -2,7 +2,7 @@
 //! handing every selected experiment to the work-stealing sweep engine.
 //!
 //! Usage: `experiments <id>|all [--quick] [--jobs N] [--bench-json PATH]
-//! [--trace DIR]`
+//! [--trace DIR] [--check-invariants]`
 //!
 //! Reports go to stdout in registry order and are byte-identical for any
 //! `--jobs` value; progress, timing, and the sweep summary go to stderr.
@@ -10,7 +10,10 @@
 //! event timeline as `DIR/<fingerprint>.jsonl` plus a human-readable
 //! per-path summary as `DIR/<fingerprint>.timeline.txt`. Each timeline is
 //! captured inside the job's own single-threaded simulation, so the JSONL
-//! bytes are identical for any `--jobs` value too.
+//! bytes are identical for any `--jobs` value too. With
+//! `--check-invariants`, every unique job's timeline is replayed through
+//! the control-loop invariant rules after the sweep; any violation is
+//! printed and the process exits non-zero — this is the CI chaos gate.
 
 use converge_bench::experiments::registry;
 use converge_bench::{run_sweep, CellCache, Job, Scale};
@@ -20,6 +23,7 @@ struct Cli {
     jobs: usize,
     bench_json: Option<String>,
     trace: Option<String>,
+    check_invariants: bool,
     targets: Vec<String>,
 }
 
@@ -32,6 +36,7 @@ fn parse_cli() -> Result<Cli, String> {
             .unwrap_or(1),
         bench_json: None,
         trace: None,
+        check_invariants: false,
         targets: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -51,6 +56,8 @@ fn parse_cli() -> Result<Cli, String> {
             cli.trace = Some(v.to_string());
         } else if arg == "--trace" {
             cli.trace = Some(it.next().ok_or("--trace needs a directory")?);
+        } else if arg == "--check-invariants" {
+            cli.check_invariants = true;
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag {arg:?}"));
         } else {
@@ -75,7 +82,7 @@ fn main() {
     let registry = registry();
     if cli.targets.is_empty() || cli.targets.iter().any(|t| t == "list") {
         eprintln!(
-            "usage: experiments <id>|all [--quick] [--jobs N] [--bench-json PATH] [--trace DIR]\n\navailable experiments:"
+            "usage: experiments <id>|all [--quick] [--jobs N] [--bench-json PATH] [--trace DIR] [--check-invariants]\n\navailable experiments:"
         );
         for def in &registry {
             let alias = if def.aliases.is_empty() {
@@ -113,10 +120,11 @@ fn main() {
         .map(|def| (def.id.to_string(), (def.spec)(scale)))
         .collect();
 
-    // Trace capture must be armed before the first simulation executes;
-    // remember the unique jobs (declaration order) so their timelines can
-    // be fetched back out of the cache after the sweep.
-    let trace_jobs: Vec<Job> = if cli.trace.is_some() {
+    // Trace capture must be armed before the first simulation executes
+    // (the invariant gate replays captured timelines too); remember the
+    // unique jobs (declaration order) so their timelines can be fetched
+    // back out of the cache after the sweep.
+    let trace_jobs: Vec<Job> = if cli.trace.is_some() || cli.check_invariants {
         CellCache::global().set_trace_capture(true);
         let mut seen = std::collections::HashSet::new();
         specs
@@ -158,6 +166,41 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    if cli.check_invariants {
+        let total = check_invariants(&trace_jobs);
+        if total > 0 {
+            eprintln!("error: {total} invariant violation(s) across the sweep");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Replays every unique job's captured timeline through the control-loop
+/// invariant rules; prints each violation and returns the total count.
+fn check_invariants(jobs: &[Job]) -> usize {
+    use converge_trace::invariant::{check_records, InvariantConfig};
+    let mut total = 0usize;
+    for job in jobs {
+        let run = CellCache::global().get_or_run(job);
+        let Some(records) = &run.trace else {
+            eprintln!(
+                "   warning: no timeline to check for {}",
+                job.fingerprint()
+            );
+            continue;
+        };
+        let violations = check_records(records, InvariantConfig::default());
+        for v in &violations {
+            eprintln!("   VIOLATION {}: {v}", job.fingerprint());
+        }
+        total += violations.len();
+    }
+    eprintln!(
+        "   invariants checked on {} timeline(s): {total} violation(s)",
+        jobs.len()
+    );
+    total
 }
 
 /// Filesystem-safe rendering of a job fingerprint.

@@ -11,8 +11,10 @@
 use std::sync::Arc;
 
 use converge_net::{QueueDiscipline, RateTrace, SimDuration};
-use converge_sim::{CallReport, FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig};
-use converge_trace::{RingSink, TraceHandle, TraceRecord};
+use converge_sim::{
+    CallReport, FecKind, ImpairmentKind, ScenarioConfig, SchedulerKind, Session, SessionConfig,
+};
+use converge_trace::{InvariantSink, RingSink, TraceHandle, TraceRecord, Violation};
 
 pub use crate::stats::{mean_std, metric, pm};
 use crate::sweep::CellCache;
@@ -43,6 +45,12 @@ pub enum ScenarioSpec {
         /// Run CoDel instead of drop-tail at the bottleneck.
         codel: bool,
     },
+    /// The fault-injection matrix: a clean reference path plus a path
+    /// carrying one named impairment.
+    Chaos {
+        /// Which fault path 1 carries.
+        kind: ImpairmentKind,
+    },
 }
 
 impl ScenarioSpec {
@@ -66,6 +74,7 @@ impl ScenarioSpec {
             ScenarioSpec::AqmTuned { codel } => {
                 format!("aqm-{}", if codel { "codel" } else { "drop-tail" })
             }
+            ScenarioSpec::Chaos { kind } => format!("chaos-{}", kind.id()),
         }
     }
 
@@ -93,6 +102,7 @@ impl ScenarioSpec {
                 }
                 scenario
             }
+            ScenarioSpec::Chaos { kind } => ScenarioConfig::chaos(kind),
         }
     }
 }
@@ -204,6 +214,16 @@ impl Job {
         let sink = Arc::new(RingSink::new(TRACE_RING_CAPACITY));
         let report = Session::new(self.config(TraceHandle::new(sink.clone()))).run();
         (report, sink.drain())
+    }
+
+    /// Runs the job with trace capture *and* the control-loop invariant
+    /// checker armed as a tee: the timeline is identical to
+    /// [`Job::run_traced`], plus any invariant violations observed.
+    pub fn run_checked(&self) -> (CallReport, Vec<TraceRecord>, Vec<Violation>) {
+        let sink = Arc::new(RingSink::new(TRACE_RING_CAPACITY));
+        let checker = Arc::new(InvariantSink::wrapping(&TraceHandle::new(sink.clone())));
+        let report = Session::new(self.config(TraceHandle::new(checker.clone()))).run();
+        (report, sink.drain(), checker.take_violations())
     }
 }
 
@@ -337,6 +357,9 @@ mod tests {
             ScenarioSpec::FeedbackBenefit,
             ScenarioSpec::fec_tradeoff_pct(3.0),
             ScenarioSpec::AqmTuned { codel: true },
+            ScenarioSpec::Chaos {
+                kind: ImpairmentKind::Blackout,
+            },
         ] {
             let scenario = spec.build(d, 1);
             assert_eq!(scenario.paths.len(), 2, "{}", spec.id());
@@ -349,6 +372,24 @@ mod tests {
                 loss_milli_pct: 3_000
             }
         );
+    }
+
+    #[test]
+    fn checked_run_matches_traced_and_is_clean() {
+        let cell = Cell::new(
+            ScenarioSpec::Chaos {
+                kind: ImpairmentKind::Flap,
+            },
+            SchedulerKind::Converge,
+            FecKind::Converge,
+            1,
+        );
+        let job = Job::new(cell, SimDuration::from_secs(10), 11);
+        let (report, records, violations) = job.run_checked();
+        assert!(violations.is_empty(), "{violations:?}");
+        let (plain_report, plain_records) = job.run_traced();
+        assert_eq!(report.frames_decoded, plain_report.frames_decoded);
+        assert_eq!(records, plain_records, "checker tee must not alter the timeline");
     }
 
     #[test]

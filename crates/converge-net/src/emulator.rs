@@ -34,6 +34,8 @@ pub enum SendOutcome {
     QueueDrop,
     /// Lost stochastically in flight.
     RandomLoss,
+    /// Dropped because the link was inside an impairment blackout window.
+    Blackout,
 }
 
 impl SendOutcome {
@@ -96,7 +98,9 @@ impl<P> NetworkEmulator<P> {
     /// Sends `payload` of `bytes` over `path` in `direction` at `now`.
     ///
     /// On loss the payload is returned to the caller inside the outcome so
-    /// tests can assert on what was lost without cloning.
+    /// tests can assert on what was lost. If the link's impairment stage
+    /// duplicates the packet, a clone of the payload is scheduled for the
+    /// copy's (later) arrival time.
     pub fn send(
         &mut self,
         path: PathId,
@@ -104,12 +108,29 @@ impl<P> NetworkEmulator<P> {
         now: SimTime,
         bytes: usize,
         payload: P,
-    ) -> (SendOutcome, Option<P>) {
+    ) -> (SendOutcome, Option<P>)
+    where
+        P: Clone,
+    {
         let Some(p) = self.paths.iter_mut().find(|p| p.id() == path) else {
             panic!("send on unknown {path}");
         };
-        match p.transmit(direction, now, bytes) {
+        let offer = p.offer(direction, now, bytes);
+        match offer.fate {
             Transmit::Delivered(at) => {
+                let copy = offer.duplicate.map(|copy_at| {
+                    (
+                        copy_at,
+                        InFlight {
+                            path,
+                            direction,
+                            sent_at: now,
+                            payload: payload.clone(),
+                        },
+                    )
+                });
+                // Schedule the original before the copy so the FIFO
+                // tie-break keeps the original first on equal times.
                 self.queue.schedule(
                     at,
                     InFlight {
@@ -119,10 +140,14 @@ impl<P> NetworkEmulator<P> {
                         payload,
                     },
                 );
+                if let Some((copy_at, dup)) = copy {
+                    self.queue.schedule(copy_at, dup);
+                }
                 (SendOutcome::Enqueued, None)
             }
             Transmit::QueueDrop => (SendOutcome::QueueDrop, Some(payload)),
             Transmit::RandomLoss => (SendOutcome::RandomLoss, Some(payload)),
+            Transmit::Blackout => (SendOutcome::Blackout, Some(payload)),
         }
     }
 
@@ -168,6 +193,7 @@ mod tests {
             jitter: SimDuration::ZERO,
             discipline: crate::aqm::QueueDiscipline::DropTail,
             seed: 1,
+            impairment: crate::impairment::ImpairmentConfig::default(),
         };
         let slow = LinkConfig {
             rate: RateTrace::constant(1_000_000),
@@ -177,6 +203,7 @@ mod tests {
             jitter: SimDuration::ZERO,
             discipline: crate::aqm::QueueDiscipline::DropTail,
             seed: 2,
+            impairment: crate::impairment::ImpairmentConfig::default(),
         };
         NetworkEmulator::new(vec![
             Path::symmetric(PathId(0), fast),
@@ -217,6 +244,7 @@ mod tests {
             jitter: SimDuration::ZERO,
             discipline: crate::aqm::QueueDiscipline::DropTail,
             seed: 1,
+            impairment: crate::impairment::ImpairmentConfig::default(),
         };
         let mut emu: NetworkEmulator<&str> =
             NetworkEmulator::new(vec![Path::symmetric(PathId(0), cfg)]);
@@ -266,5 +294,45 @@ mod tests {
     fn unknown_path_panics() {
         let mut emu = two_path_emu();
         emu.send(PathId(9), Direction::Forward, SimTime::ZERO, 1, 0);
+    }
+
+    #[test]
+    fn blackout_returns_payload_to_caller() {
+        use crate::impairment::{BlackoutSchedule, ImpairmentConfig};
+        let cfg = LinkConfig {
+            impairment: ImpairmentConfig::blackout(BlackoutSchedule::single(
+                SimTime::ZERO,
+                SimDuration::from_secs(1),
+            )),
+            ..LinkConfig::default()
+        };
+        let mut emu: NetworkEmulator<&str> =
+            NetworkEmulator::new(vec![Path::new(PathId(0), cfg, LinkConfig::default())]);
+        let (outcome, returned) =
+            emu.send(PathId(0), Direction::Forward, SimTime::ZERO, 100, "dark");
+        assert_eq!(outcome, SendOutcome::Blackout);
+        assert_eq!(returned, Some("dark"));
+        assert!(outcome.is_lost());
+        // The reverse direction is unimpaired and still flows.
+        let (rev, _) = emu.send(PathId(0), Direction::Reverse, SimTime::ZERO, 100, "fb");
+        assert_eq!(rev, SendOutcome::Enqueued);
+    }
+
+    #[test]
+    fn duplicated_payloads_arrive_twice() {
+        use crate::impairment::ImpairmentConfig;
+        let cfg = LinkConfig {
+            impairment: ImpairmentConfig::duplication(1.0, SimDuration::from_millis(3)),
+            ..LinkConfig::default()
+        };
+        let mut emu: NetworkEmulator<u32> =
+            NetworkEmulator::new(vec![Path::new(PathId(0), cfg, LinkConfig::default())]);
+        let (outcome, _) = emu.send(PathId(0), Direction::Forward, SimTime::ZERO, 100, 7);
+        assert_eq!(outcome, SendOutcome::Enqueued);
+        let all = emu.poll(SimTime::from_secs(1));
+        assert_eq!(all.len(), 2, "copy must arrive as a second delivery");
+        assert_eq!(all[0].payload, 7);
+        assert_eq!(all[1].payload, 7);
+        assert!(all[0].at <= all[1].at, "original first");
     }
 }

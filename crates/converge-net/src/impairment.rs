@@ -1,0 +1,229 @@
+//! Composable per-direction fault injection for emulated links.
+//!
+//! The base [`Link`](crate::link::Link) models the *nominal* behaviour of a
+//! cellular path: a disciplined queue, a trace-driven bottleneck, propagation
+//! delay, bounded jitter, and stochastic loss. Real multi-carrier paths
+//! misbehave in ways none of those stages express: carrier handovers black
+//! the radio out for seconds, handover flaps toggle it on and off, the air
+//! interface reorders far beyond the scheduling-jitter bound, middleboxes
+//! duplicate packets, and the *feedback* direction can be lossy or slow
+//! while media flows fine. [`ImpairmentConfig`] adds those faults as an
+//! explicit stage, one config per link direction, so asymmetric impairment
+//! (e.g. RTCP feedback loss with clean media) is directly expressible.
+//!
+//! Every impairment draws from the owning link's seeded RNG, so a run
+//! remains a pure function of configuration × seed. A default (no-op)
+//! config draws nothing at all, leaving the RNG stream — and therefore
+//! every existing scenario — bit-for-bit unchanged.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A deterministic on/off outage schedule for one link direction.
+///
+/// Models carrier-handover blackouts: from `start`, the link is dark for
+/// `off`; with a `period`, the outage repeats every `period` (a handover
+/// *flap*), otherwise it happens once. Packets offered while the link is
+/// dark are dropped at entry with [`Transmit::Blackout`].
+///
+/// [`Transmit::Blackout`]: crate::link::Transmit::Blackout
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlackoutSchedule {
+    /// Start of the first outage window.
+    pub start: SimTime,
+    /// Length of each outage window.
+    pub off: SimDuration,
+    /// Interval between consecutive outage starts; `None` means the
+    /// outage happens exactly once.
+    pub period: Option<SimDuration>,
+}
+
+impl BlackoutSchedule {
+    /// A single outage: dark during `[start, start + off)`.
+    pub fn single(start: SimTime, off: SimDuration) -> Self {
+        BlackoutSchedule {
+            start,
+            off,
+            period: None,
+        }
+    }
+
+    /// A repeating flap: dark during `[start + k·period, start + k·period
+    /// + off)` for every `k ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics unless `period > off` (the link must come back up between
+    /// outages) and `off` is positive.
+    pub fn flapping(start: SimTime, off: SimDuration, period: SimDuration) -> Self {
+        assert!(off > SimDuration::ZERO, "flap outage must be positive");
+        assert!(period > off, "flap period must exceed the outage length");
+        BlackoutSchedule {
+            start,
+            off,
+            period: Some(period),
+        }
+    }
+
+    /// Whether the link is dark at `now`.
+    pub fn contains(&self, now: SimTime) -> bool {
+        if now < self.start {
+            return false;
+        }
+        let since = now.saturating_since(self.start);
+        match self.period {
+            None => since < self.off,
+            Some(period) => {
+                let into_cycle = since.as_micros() % period.as_micros();
+                into_cycle < self.off.as_micros()
+            }
+        }
+    }
+}
+
+/// Fault-injection settings for one link direction. The default is a
+/// no-op: nothing is dropped, delayed, reordered, or duplicated, and no
+/// random draws are made.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImpairmentConfig {
+    /// Extra independent loss probability applied at link entry, before
+    /// the queue (0..=1). This is how feedback-channel loss is modelled:
+    /// set it on the reverse direction only and media stays clean while
+    /// RTCP feedback starves.
+    pub loss: f64,
+    /// Fixed extra one-way delay added to every delivered packet (models
+    /// a slow feedback channel, or a detour through a distant PoP).
+    pub delay: SimDuration,
+    /// Probability that a delivered packet is held back by an extra
+    /// uniform delay in `[1 µs, reorder_horizon]`, reordering it behind
+    /// later packets (0..=1).
+    pub reorder_prob: f64,
+    /// Maximum hold-back applied to a reordered packet.
+    pub reorder_horizon: SimDuration,
+    /// Probability that a delivered packet arrives twice (0..=1). The
+    /// copy trails the original by a uniform delay in
+    /// `[0, duplicate_spread]`.
+    pub duplicate_prob: f64,
+    /// Maximum lag of a duplicated copy behind its original.
+    pub duplicate_spread: SimDuration,
+    /// Outage schedule; packets offered while dark are dropped.
+    pub blackout: Option<BlackoutSchedule>,
+}
+
+impl Default for ImpairmentConfig {
+    fn default() -> Self {
+        ImpairmentConfig {
+            loss: 0.0,
+            delay: SimDuration::ZERO,
+            reorder_prob: 0.0,
+            reorder_horizon: SimDuration::ZERO,
+            duplicate_prob: 0.0,
+            duplicate_spread: SimDuration::ZERO,
+            blackout: None,
+        }
+    }
+}
+
+impl ImpairmentConfig {
+    /// Whether this config changes nothing (the default).
+    pub fn is_noop(&self) -> bool {
+        self.loss <= 0.0
+            && self.delay == SimDuration::ZERO
+            && (self.reorder_prob <= 0.0 || self.reorder_horizon == SimDuration::ZERO)
+            && self.duplicate_prob <= 0.0
+            && self.blackout.is_none()
+    }
+
+    /// Reordering only: each packet is held back with probability `prob`
+    /// by up to `horizon`.
+    pub fn reordering(prob: f64, horizon: SimDuration) -> Self {
+        ImpairmentConfig {
+            reorder_prob: prob,
+            reorder_horizon: horizon,
+            ..ImpairmentConfig::default()
+        }
+    }
+
+    /// Duplication only: each packet arrives twice with probability
+    /// `prob`, the copy trailing by up to `spread`.
+    pub fn duplication(prob: f64, spread: SimDuration) -> Self {
+        ImpairmentConfig {
+            duplicate_prob: prob,
+            duplicate_spread: spread,
+            ..ImpairmentConfig::default()
+        }
+    }
+
+    /// An outage schedule only.
+    pub fn blackout(schedule: BlackoutSchedule) -> Self {
+        ImpairmentConfig {
+            blackout: Some(schedule),
+            ..ImpairmentConfig::default()
+        }
+    }
+
+    /// A degraded control channel: extra independent loss plus a fixed
+    /// extra delay. Intended for the reverse (feedback) direction.
+    pub fn degraded(loss: f64, delay: SimDuration) -> Self {
+        ImpairmentConfig {
+            loss,
+            delay,
+            ..ImpairmentConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_noop() {
+        assert!(ImpairmentConfig::default().is_noop());
+        assert!(!ImpairmentConfig::reordering(0.5, SimDuration::from_millis(10)).is_noop());
+        assert!(!ImpairmentConfig::duplication(0.1, SimDuration::ZERO).is_noop());
+        assert!(!ImpairmentConfig::degraded(0.3, SimDuration::ZERO).is_noop());
+        assert!(!ImpairmentConfig::blackout(BlackoutSchedule::single(
+            SimTime::ZERO,
+            SimDuration::from_secs(1)
+        ))
+        .is_noop());
+        // Reordering with a zero horizon cannot move anything.
+        assert!(ImpairmentConfig::reordering(0.5, SimDuration::ZERO).is_noop());
+    }
+
+    #[test]
+    fn single_blackout_window() {
+        let b = BlackoutSchedule::single(SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert!(!b.contains(SimTime::from_secs(9)));
+        assert!(b.contains(SimTime::from_secs(10)));
+        assert!(b.contains(SimTime::from_micros(14_999_999)));
+        assert!(!b.contains(SimTime::from_secs(15)));
+        assert!(!b.contains(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn flapping_blackout_repeats() {
+        let b = BlackoutSchedule::flapping(
+            SimTime::from_secs(5),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(4),
+        );
+        assert!(!b.contains(SimTime::from_secs(4)));
+        // Cycle k: dark during [5 + 4k, 6 + 4k).
+        for k in 0..5u64 {
+            let dark = SimTime::from_secs(5 + 4 * k) + SimDuration::from_millis(500);
+            let up = SimTime::from_secs(5 + 4 * k) + SimDuration::from_millis(1_500);
+            assert!(b.contains(dark), "cycle {k} should be dark");
+            assert!(!b.contains(up), "cycle {k} should be up again");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period must exceed")]
+    fn flap_period_must_exceed_off() {
+        BlackoutSchedule::flapping(
+            SimTime::ZERO,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(2),
+        );
+    }
+}

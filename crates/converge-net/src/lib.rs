@@ -14,6 +14,8 @@
 //! - [`aqm`]: queue disciplines — drop-tail and CoDel controlled delay.
 //! - [`link`]: one link direction — disciplined queue, trace-driven
 //!   bottleneck, propagation delay, jitter, loss stage.
+//! - [`impairment`]: composable per-direction fault injection — blackout /
+//!   flap schedules, reordering, duplication, feedback loss and delay.
 //! - [`path`]: bidirectional path with a stable [`path::PathId`].
 //! - [`emulator`]: multipath emulator holding payloads in flight.
 //!
@@ -27,6 +29,7 @@
 pub mod aqm;
 pub mod emulator;
 pub mod event;
+pub mod impairment;
 pub mod link;
 pub mod loss;
 pub mod path;
@@ -35,7 +38,8 @@ pub mod trace;
 
 pub use aqm::{Codel, QueueDiscipline};
 pub use emulator::{Delivery, NetworkEmulator, SendOutcome};
-pub use link::{Link, LinkConfig, LinkStats, Transmit};
+pub use impairment::{BlackoutSchedule, ImpairmentConfig};
+pub use link::{Link, LinkConfig, LinkStats, Offer, Transmit};
 pub use loss::{LossModel, LossProcess};
 pub use path::{Direction, Path, PathId};
 pub use time::{SimDuration, SimTime};

@@ -10,6 +10,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::aqm::{Codel, QueueDiscipline};
+use crate::impairment::ImpairmentConfig;
 use crate::loss::{LossModel, LossProcess};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::RateTrace;
@@ -31,6 +32,9 @@ pub struct LinkConfig {
     pub jitter: SimDuration,
     /// Queue discipline at the bottleneck (drop-tail or CoDel).
     pub discipline: QueueDiscipline,
+    /// Fault injection for this direction (blackout/flap windows, extra
+    /// loss and delay, reordering, duplication). No-op by default.
+    pub impairment: ImpairmentConfig,
     /// Seed for this link's private RNG.
     pub seed: u64,
 }
@@ -45,6 +49,7 @@ impl Default for LinkConfig {
             loss: LossModel::None,
             jitter: SimDuration::ZERO,
             discipline: QueueDiscipline::DropTail,
+            impairment: ImpairmentConfig::default(),
             seed: 0,
         }
     }
@@ -60,6 +65,20 @@ pub enum Transmit {
     QueueDrop,
     /// The packet was lost by the stochastic loss stage (random loss).
     RandomLoss,
+    /// The packet was offered while the link was inside a blackout/flap
+    /// window of its [`ImpairmentConfig`] (carrier handover outage).
+    Blackout,
+}
+
+/// Full outcome of offering one packet through the impairment stage: the
+/// primary fate plus the arrival time of a duplicated copy, if the
+/// impairment stage produced one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Offer {
+    /// Fate of the packet itself.
+    pub fate: Transmit,
+    /// Arrival time of the duplicate copy, when one was injected.
+    pub duplicate: Option<SimTime>,
 }
 
 /// Counters a link keeps about its own behaviour.
@@ -73,6 +92,14 @@ pub struct LinkStats {
     pub queue_drops: u64,
     /// Packets lost stochastically.
     pub random_losses: u64,
+    /// Packets dropped inside a blackout/flap window.
+    pub blackout_drops: u64,
+    /// Packets dropped by the impairment stage's extra loss.
+    pub impairment_losses: u64,
+    /// Packets the impairment stage duplicated.
+    pub duplicated_pkts: u64,
+    /// Packets the impairment stage held back past the reorder horizon.
+    pub reordered_pkts: u64,
 }
 
 /// One unidirectional emulated link.
@@ -160,22 +187,62 @@ impl Link {
         self.stats
     }
 
-    /// Offers one packet of `bytes` to the link at time `now`.
-    ///
-    /// Returns the fate of the packet. Delivery time accounts for queuing
-    /// behind previously accepted packets, serialization at the (possibly
-    /// time-varying) bottleneck rate, and propagation delay.
+    /// Offers one packet of `bytes` to the link at time `now`, returning
+    /// just the primary fate. Equivalent to [`Link::offer`] with any
+    /// injected duplicate discarded.
     ///
     /// # Panics
     /// Panics if called with a `now` earlier than a previous call — the link
     /// requires monotonically non-decreasing send times.
     pub fn transmit(&mut self, now: SimTime, bytes: usize) -> Transmit {
+        self.offer(now, bytes).fate
+    }
+
+    /// Offers one packet of `bytes` to the link at time `now`.
+    ///
+    /// Returns the fate of the packet plus any impairment-injected
+    /// duplicate. Delivery time accounts for queuing behind previously
+    /// accepted packets, serialization at the (possibly time-varying)
+    /// bottleneck rate, propagation delay, and the impairment stage
+    /// (reorder hold-back and fixed extra delay).
+    ///
+    /// # Panics
+    /// Panics if called with a `now` earlier than a previous call — the link
+    /// requires monotonically non-decreasing send times.
+    pub fn offer(&mut self, now: SimTime, bytes: usize) -> Offer {
+        use rand::Rng;
         self.prune(now);
+        let imp = self.config.impairment;
+
+        // Blackout/flap windows: the radio is simply off. Checked before
+        // the queue — a dark link accepts nothing.
+        if let Some(blackout) = imp.blackout {
+            if blackout.contains(now) {
+                self.stats.blackout_drops += 1;
+                return Offer {
+                    fate: Transmit::Blackout,
+                    duplicate: None,
+                };
+            }
+        }
+
+        // Impairment extra loss (e.g. a starved feedback channel),
+        // independent of the base loss model below.
+        if imp.loss > 0.0 && self.rng.gen_bool(imp.loss.clamp(0.0, 1.0)) {
+            self.stats.impairment_losses += 1;
+            return Offer {
+                fate: Transmit::RandomLoss,
+                duplicate: None,
+            };
+        }
 
         // Byte-limit check (applies under every discipline).
         if self.queued_bytes + bytes > self.config.queue_capacity_bytes {
             self.stats.queue_drops += 1;
-            return Transmit::QueueDrop;
+            return Offer {
+                fate: Transmit::QueueDrop,
+                duplicate: None,
+            };
         }
 
         // CoDel: consult the controller with the sojourn this packet is
@@ -184,7 +251,10 @@ impl Link {
             let sojourn = self.busy_until.saturating_since(now);
             if codel.should_drop(now, sojourn) {
                 self.stats.queue_drops += 1;
-                return Transmit::QueueDrop;
+                return Offer {
+                    fate: Transmit::QueueDrop,
+                    duplicate: None,
+                };
             }
         }
 
@@ -193,7 +263,10 @@ impl Link {
         // loss on the air interface after the bottleneck.
         if self.loss.should_drop(&mut self.rng) {
             self.stats.random_losses += 1;
-            return Transmit::RandomLoss;
+            return Offer {
+                fate: Transmit::RandomLoss,
+                duplicate: None,
+            };
         }
 
         // Serialize through the bottleneck, honouring rate changes at trace
@@ -207,12 +280,44 @@ impl Link {
         self.stats.delivered_pkts += 1;
         self.stats.delivered_bytes += bytes as u64;
         let jitter = if self.config.jitter > SimDuration::ZERO {
-            use rand::Rng;
             SimDuration::from_micros(self.rng.gen_range(0..=self.config.jitter.as_micros()))
         } else {
             SimDuration::ZERO
         };
-        Transmit::Delivered(finish + self.config.propagation + jitter)
+
+        // Impairment reorder stage: hold selected packets back well past
+        // the jitter bound so they land behind later packets.
+        let holdback = if imp.reorder_prob > 0.0
+            && imp.reorder_horizon > SimDuration::ZERO
+            && self.rng.gen_bool(imp.reorder_prob.clamp(0.0, 1.0))
+        {
+            self.stats.reordered_pkts += 1;
+            SimDuration::from_micros(self.rng.gen_range(1..=imp.reorder_horizon.as_micros()))
+        } else {
+            SimDuration::ZERO
+        };
+
+        let deliver = finish + self.config.propagation + jitter + holdback + imp.delay;
+
+        // Impairment duplication stage: the copy trails the original.
+        let duplicate = if imp.duplicate_prob > 0.0
+            && self.rng.gen_bool(imp.duplicate_prob.clamp(0.0, 1.0))
+        {
+            self.stats.duplicated_pkts += 1;
+            let lag = if imp.duplicate_spread > SimDuration::ZERO {
+                SimDuration::from_micros(self.rng.gen_range(0..=imp.duplicate_spread.as_micros()))
+            } else {
+                SimDuration::ZERO
+            };
+            Some(deliver + lag)
+        } else {
+            None
+        };
+
+        Offer {
+            fate: Transmit::Delivered(deliver),
+            duplicate,
+        }
     }
 
     /// Computes when `bytes` finish serializing if started at `start`,
@@ -274,6 +379,7 @@ mod tests {
             jitter: SimDuration::ZERO,
             discipline: QueueDiscipline::DropTail,
             seed: 1,
+            impairment: ImpairmentConfig::default(),
         }
     }
 
@@ -466,6 +572,146 @@ mod tests {
             let mut l = Link::new(cfg);
             (0..500)
                 .map(|i| l.transmit(SimTime::from_micros(i * 200), 1200))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn blackout_window_delivers_nothing() {
+        use crate::impairment::BlackoutSchedule;
+        let mut cfg = link_cfg(100_000_000, 10, 10_000_000);
+        cfg.impairment = ImpairmentConfig::blackout(BlackoutSchedule::single(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(2),
+        ));
+        let mut l = Link::new(cfg);
+        let mut dark = 0u64;
+        for i in 0..400u64 {
+            let now = SimTime::from_millis(i * 10); // 0..4 s
+            let offer = l.offer(now, 500);
+            let in_window = (1_000..3_000).contains(&now.as_millis());
+            if in_window {
+                assert_eq!(offer.fate, Transmit::Blackout, "t={now}");
+                assert!(offer.duplicate.is_none());
+                dark += 1;
+            } else {
+                assert!(matches!(offer.fate, Transmit::Delivered(_)), "t={now}");
+            }
+        }
+        assert_eq!(l.stats().blackout_drops, dark);
+        assert_eq!(dark, 200);
+    }
+
+    #[test]
+    fn reorder_holdback_shuffles_but_preserves_packets() {
+        let mut cfg = link_cfg(100_000_000, 10, 10_000_000);
+        cfg.impairment = ImpairmentConfig::reordering(0.3, SimDuration::from_millis(50));
+        let mut l = Link::new(cfg);
+        let mut times = Vec::new();
+        for i in 0..500u64 {
+            match l.offer(SimTime::from_millis(i * 5), 100).fate {
+                Transmit::Delivered(at) => times.push(at),
+                other => panic!("no-loss link must deliver, got {other:?}"),
+            }
+        }
+        assert_eq!(times.len(), 500, "reordering must not lose packets");
+        assert!(
+            times.windows(2).any(|w| w[1] < w[0]),
+            "50 ms holdback on 5 ms spacing must reorder"
+        );
+        assert!(l.stats().reordered_pkts > 50);
+        assert!(l.stats().reordered_pkts < 250);
+    }
+
+    #[test]
+    fn duplicates_trail_their_original() {
+        let mut cfg = link_cfg(100_000_000, 10, 10_000_000);
+        cfg.impairment = ImpairmentConfig::duplication(0.5, SimDuration::from_millis(5));
+        let mut l = Link::new(cfg);
+        let mut dups = 0u64;
+        for i in 0..400u64 {
+            let offer = l.offer(SimTime::from_millis(i * 10), 100);
+            let Transmit::Delivered(primary) = offer.fate else {
+                panic!("no-loss link must deliver");
+            };
+            if let Some(copy) = offer.duplicate {
+                assert!(copy >= primary, "copy {copy} must not beat original {primary}");
+                assert!(copy <= primary + SimDuration::from_millis(5));
+                dups += 1;
+            }
+        }
+        assert!((120..280).contains(&dups), "dup count {dups}");
+        assert_eq!(l.stats().duplicated_pkts, dups);
+    }
+
+    #[test]
+    fn impairment_loss_and_delay_compose() {
+        let mut cfg = link_cfg(100_000_000, 10, 10_000_000);
+        cfg.impairment = ImpairmentConfig::degraded(0.4, SimDuration::from_millis(30));
+        let mut l = Link::new(cfg);
+        let mut lost = 0u64;
+        for i in 0..1000u64 {
+            let now = SimTime::from_millis(i * 10);
+            match l.offer(now, 100).fate {
+                Transmit::RandomLoss => lost += 1,
+                Transmit::Delivered(at) => {
+                    // serialization is 8 us at 100 Mbps; prop 10 ms + extra 30 ms.
+                    assert!(at >= now + SimDuration::from_millis(40));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!((250..550).contains(&lost), "lost {lost}");
+        assert_eq!(l.stats().impairment_losses, lost);
+        assert_eq!(l.stats().random_losses, 0);
+    }
+
+    #[test]
+    fn noop_impairment_preserves_rng_stream() {
+        // A default ImpairmentConfig must make zero RNG draws so existing
+        // seeded scenarios stay bit-identical.
+        let run = |imp: ImpairmentConfig| {
+            let mut cfg = link_cfg(5_000_000, 10, 50_000);
+            cfg.loss = LossModel::bernoulli_percent(10.0);
+            cfg.jitter = SimDuration::from_millis(5);
+            cfg.impairment = imp;
+            let mut l = Link::new(cfg);
+            (0..500)
+                .map(|i| l.transmit(SimTime::from_micros(i * 200), 1200))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(ImpairmentConfig::default()), run(ImpairmentConfig::default()));
+        // And a no-op schedule outside the horizon changes nothing either.
+        let past = ImpairmentConfig::blackout(crate::impairment::BlackoutSchedule::single(
+            SimTime::MAX,
+            SimDuration::from_micros(1),
+        ));
+        assert_eq!(run(ImpairmentConfig::default()), run(past));
+    }
+
+    #[test]
+    fn impaired_link_is_deterministic_given_seed() {
+        use crate::impairment::BlackoutSchedule;
+        let run = || {
+            let mut cfg = link_cfg(5_000_000, 10, 50_000);
+            cfg.loss = LossModel::bernoulli_percent(5.0);
+            cfg.impairment = ImpairmentConfig {
+                loss: 0.05,
+                delay: SimDuration::from_millis(2),
+                reorder_prob: 0.2,
+                reorder_horizon: SimDuration::from_millis(40),
+                duplicate_prob: 0.1,
+                duplicate_spread: SimDuration::from_millis(5),
+                blackout: Some(BlackoutSchedule::flapping(
+                    SimTime::from_millis(20),
+                    SimDuration::from_millis(10),
+                    SimDuration::from_millis(50),
+                )),
+            };
+            let mut l = Link::new(cfg);
+            (0..500)
+                .map(|i| l.offer(SimTime::from_micros(i * 200), 1200))
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());

@@ -4,7 +4,7 @@
 //! (receiver→sender, used for RTCP feedback). Paths are the unit over which
 //! the Converge scheduler makes decisions; each carries a stable [`PathId`].
 
-use crate::link::{Link, LinkConfig, LinkStats, Transmit};
+use crate::link::{Link, LinkConfig, LinkStats, Offer, Transmit};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a network path within a session (matches the path ID field
@@ -83,6 +83,12 @@ impl Path {
         self.link_mut(dir).transmit(now, bytes)
     }
 
+    /// Offers a packet to one direction of the path, including any
+    /// impairment-injected duplicate.
+    pub fn offer(&mut self, dir: Direction, now: SimTime, bytes: usize) -> Offer {
+        self.link_mut(dir).offer(now, bytes)
+    }
+
     /// Ground-truth round-trip propagation delay (no queuing), useful for
     /// test assertions.
     pub fn base_rtt(&self) -> SimDuration {
@@ -109,6 +115,7 @@ mod tests {
             jitter: SimDuration::ZERO,
             discipline: crate::aqm::QueueDiscipline::DropTail,
             seed: 9,
+            impairment: crate::impairment::ImpairmentConfig::default(),
         }
     }
 

@@ -76,9 +76,11 @@ impl DuplexSession {
                     jitter: spec.jitter,
                     discipline: spec.discipline.clone(),
                     seed: seed.wrapping_add(i as u64 * 7919),
+                    impairment: spec.forward_impairment,
                 };
                 let mut rev = cfg.clone();
                 rev.seed = cfg.seed.wrapping_add(0xB1D1);
+                rev.impairment = spec.reverse_impairment;
                 Path::new(PathId(i as u8), cfg, rev)
             })
             .collect()

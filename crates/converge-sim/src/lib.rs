@@ -24,6 +24,6 @@ pub use metrics::{CallReport, MetricsCollector, PathCounters, SecondBin};
 pub use pacer::{Pacer, PacerConfig};
 pub use payload::{NetPayload, RtpKind, SimRtp};
 pub use receiver::ConferenceReceiver;
-pub use scenarios::{FecKind, PathSpec, ScenarioConfig, SchedulerKind};
+pub use scenarios::{FecKind, ImpairmentKind, PathSpec, ScenarioConfig, SchedulerKind};
 pub use sender::{ConferenceSender, FrameTickResult, OutboundPacket, RateCoupling};
 pub use session::{ConfigError, Session, SessionConfig, SessionConfigBuilder};

@@ -508,6 +508,15 @@ impl CallReport {
         self.freeze_total_ms / self.freeze_events as f64
     }
 
+    /// Fraction of the call spent frozen, percent; zero for a zero-length
+    /// call.
+    pub fn freeze_ratio_pct(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.freeze_total_ms / (self.duration_s * 1_000.0) * 100.0
+    }
+
     /// FEC overhead: extra FEC packets relative to media packets, percent.
     pub fn fec_overhead_pct(&self) -> f64 {
         if self.media_packets_sent == 0 {

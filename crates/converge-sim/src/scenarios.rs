@@ -6,8 +6,8 @@ use converge_core::{
     MRtpScheduler, MTputScheduler, Scheduler, SinglePathScheduler, SrttScheduler, WebRtcTableFec,
 };
 use converge_net::{
-    trace, Carrier, LinkConfig, LossModel, Path, PathId, QueueDiscipline, RateTrace, Scenario,
-    SimDuration, SimTime,
+    trace, BlackoutSchedule, Carrier, ImpairmentConfig, LinkConfig, LossModel, Path, PathId,
+    QueueDiscipline, RateTrace, Scenario, SimDuration, SimTime,
 };
 
 /// Which scheduler to run.
@@ -146,6 +146,20 @@ pub struct PathSpec {
     /// Bottleneck queue discipline (drop-tail unless an AQM experiment
     /// overrides it).
     pub discipline: QueueDiscipline,
+    /// Fault injection on the forward (media) direction. No-op by default.
+    pub forward_impairment: ImpairmentConfig,
+    /// Fault injection on the reverse (RTCP feedback) direction. No-op by
+    /// default; setting it alone models a starved feedback channel while
+    /// media flows clean.
+    pub reverse_impairment: ImpairmentConfig,
+}
+
+impl Default for PathSpec {
+    /// A clean 10 Mbps / 20 ms path — mainly useful as a struct-update
+    /// base (`..PathSpec::default()`).
+    fn default() -> Self {
+        PathSpec::constant(10_000_000, 20, 0.0)
+    }
 }
 
 impl PathSpec {
@@ -163,7 +177,16 @@ impl PathSpec {
             queue_bytes: 300_000,
             jitter: SimDuration::ZERO,
             discipline: QueueDiscipline::DropTail,
+            forward_impairment: ImpairmentConfig::default(),
+            reverse_impairment: ImpairmentConfig::default(),
         }
+    }
+
+    /// Applies the same impairment to both directions.
+    pub fn impaired_both(mut self, impairment: ImpairmentConfig) -> Self {
+        self.forward_impairment = impairment;
+        self.reverse_impairment = impairment;
+        self
     }
 
     /// Builds the emulated path.
@@ -176,8 +199,65 @@ impl PathSpec {
             jitter: self.jitter,
             discipline: self.discipline.clone(),
             seed,
+            impairment: self.forward_impairment,
         };
-        Path::symmetric(id, fwd)
+        // Mirror Path::symmetric (uncongested feedback queue, independent
+        // seed) while letting each direction carry its own impairment.
+        let mut rev = fwd.clone();
+        rev.queue_capacity_bytes = rev.queue_capacity_bytes.max(1_000_000);
+        rev.seed = fwd.seed.wrapping_add(0x5EED);
+        rev.impairment = self.reverse_impairment;
+        Path::new(id, fwd, rev)
+    }
+}
+
+/// The named chaos impairments of the fault-injection matrix. Each picks
+/// one adversarial behaviour the paper's claims must survive (§5's
+/// handover, loss, and violent-variation conditions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ImpairmentKind {
+    /// One long carrier blackout on path 1 (handover outage).
+    Blackout,
+    /// Periodic short outages on path 1 (handover flapping).
+    Flap,
+    /// Heavy forward reordering on path 1 (air-interface scheduling).
+    Reorder,
+    /// Forward duplication on path 1 (middlebox retransmission).
+    Duplicate,
+    /// Lossy, slow RTCP feedback on path 1 with clean media.
+    FeedbackLoss,
+}
+
+impl ImpairmentKind {
+    /// All matrix rows.
+    pub const ALL: [ImpairmentKind; 5] = [
+        ImpairmentKind::Blackout,
+        ImpairmentKind::Flap,
+        ImpairmentKind::Reorder,
+        ImpairmentKind::Duplicate,
+        ImpairmentKind::FeedbackLoss,
+    ];
+
+    /// Short stable identifier used in scenario names and cache keys.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ImpairmentKind::Blackout => "blackout",
+            ImpairmentKind::Flap => "flap",
+            ImpairmentKind::Reorder => "reorder",
+            ImpairmentKind::Duplicate => "duplicate",
+            ImpairmentKind::FeedbackLoss => "fbloss",
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ImpairmentKind::Blackout => "carrier blackout",
+            ImpairmentKind::Flap => "handover flap",
+            ImpairmentKind::Reorder => "reordering",
+            ImpairmentKind::Duplicate => "duplication",
+            ImpairmentKind::FeedbackLoss => "feedback loss",
+        }
     }
 }
 
@@ -203,6 +283,7 @@ impl ScenarioConfig {
                     queue_bytes: 300_000,
                     jitter: SimDuration::from_millis(2),
                     discipline: QueueDiscipline::DropTail,
+                    ..Default::default()
                 },
                 PathSpec {
                     rate: trace::synthesize(Scenario::Walking, Carrier::CellularA, duration, seed),
@@ -211,6 +292,7 @@ impl ScenarioConfig {
                     queue_bytes: 300_000,
                     jitter: SimDuration::from_millis(5),
                     discipline: QueueDiscipline::DropTail,
+                    ..Default::default()
                 },
             ],
         }
@@ -228,6 +310,7 @@ impl ScenarioConfig {
                     queue_bytes: 250_000,
                     jitter: SimDuration::from_millis(8),
                     discipline: QueueDiscipline::DropTail,
+                    ..Default::default()
                 },
                 PathSpec {
                     rate: trace::synthesize(Scenario::Driving, Carrier::CellularA, duration, seed),
@@ -236,6 +319,7 @@ impl ScenarioConfig {
                     queue_bytes: 250_000,
                     jitter: SimDuration::from_millis(8),
                     discipline: QueueDiscipline::DropTail,
+                    ..Default::default()
                 },
             ],
         }
@@ -253,6 +337,7 @@ impl ScenarioConfig {
                     queue_bytes: 400_000,
                     jitter: SimDuration::from_millis(1),
                     discipline: QueueDiscipline::DropTail,
+                    ..Default::default()
                 },
                 PathSpec {
                     rate: trace::synthesize(
@@ -266,6 +351,7 @@ impl ScenarioConfig {
                     queue_bytes: 300_000,
                     jitter: SimDuration::from_millis(3),
                     discipline: QueueDiscipline::DropTail,
+                    ..Default::default()
                 },
             ],
         }
@@ -299,6 +385,7 @@ impl ScenarioConfig {
                     queue_bytes: 300_000,
                     jitter: SimDuration::ZERO,
                     discipline: QueueDiscipline::DropTail,
+                    ..Default::default()
                 },
                 PathSpec {
                     rate: RateTrace::new(step, rates),
@@ -307,6 +394,7 @@ impl ScenarioConfig {
                     queue_bytes: 300_000,
                     jitter: SimDuration::ZERO,
                     discipline: QueueDiscipline::DropTail,
+                    ..Default::default()
                 },
             ],
         }
@@ -340,12 +428,69 @@ impl ScenarioConfig {
                 queue_bytes: 300_000,
                 jitter: SimDuration::ZERO,
                 discipline: QueueDiscipline::DropTail,
+                ..Default::default()
             });
         }
         Ok(ScenarioConfig {
             name: "trace-replay".into(),
             paths,
         })
+    }
+
+    /// The chaos matrix scenario: path 0 is a clean 15 Mbps / 30 ms
+    /// reference, path 1 is an equal-rate 50 ms path carrying one named
+    /// impairment. Keeping exactly one fault per scenario makes matrix
+    /// failures attributable.
+    pub fn chaos(kind: ImpairmentKind) -> Self {
+        let clean = PathSpec::constant(15_000_000, 30, 0.0);
+        let victim = PathSpec::constant(15_000_000, 50, 0.0);
+        let victim = match kind {
+            // A single 5 s outage starting at 10 s, both directions dark —
+            // the monitor must declare the path down and the scheduler
+            // must survive on path 0, then re-enable per Eq. 3.
+            ImpairmentKind::Blackout => victim.impaired_both(ImpairmentConfig::blackout(
+                BlackoutSchedule::single(SimTime::from_secs(10), SimDuration::from_secs(5)),
+            )),
+            // 1 s dark out of every 4 s from 5 s on — repeated
+            // disable/re-enable churn.
+            ImpairmentKind::Flap => victim.impaired_both(ImpairmentConfig::blackout(
+                BlackoutSchedule::flapping(
+                    SimTime::from_secs(5),
+                    SimDuration::from_secs(1),
+                    SimDuration::from_secs(4),
+                ),
+            )),
+            // A quarter of media packets held back up to 40 ms — far past
+            // the jitter the receiver buffers were tuned for.
+            ImpairmentKind::Reorder => PathSpec {
+                forward_impairment: ImpairmentConfig::reordering(
+                    0.25,
+                    SimDuration::from_millis(40),
+                ),
+                ..victim
+            },
+            // 5% of media packets delivered twice within 5 ms.
+            ImpairmentKind::Duplicate => PathSpec {
+                forward_impairment: ImpairmentConfig::duplication(
+                    0.05,
+                    SimDuration::from_millis(5),
+                ),
+                ..victim
+            },
+            // Media clean, feedback direction losing 30% with +30 ms —
+            // the control loop must degrade gracefully on stale RTCP.
+            ImpairmentKind::FeedbackLoss => PathSpec {
+                reverse_impairment: ImpairmentConfig::degraded(
+                    0.30,
+                    SimDuration::from_millis(30),
+                ),
+                ..victim
+            },
+        };
+        ScenarioConfig {
+            name: format!("chaos-{}", kind.id()),
+            paths: vec![clean, victim],
+        }
     }
 
     /// Builds the emulated paths, seeding each link differently.
@@ -441,6 +586,47 @@ mod tests {
             5_000_000
         );
         assert!(ScenarioConfig::from_traces(&[("garbage", SimDuration::ZERO)]).is_err());
+    }
+
+    #[test]
+    fn chaos_scenarios_build_with_one_fault_each() {
+        for kind in ImpairmentKind::ALL {
+            let cfg = ScenarioConfig::chaos(kind);
+            assert_eq!(cfg.name, format!("chaos-{}", kind.id()));
+            assert_eq!(cfg.paths.len(), 2);
+            // Path 0 is always the clean reference.
+            assert!(cfg.paths[0].forward_impairment.is_noop());
+            assert!(cfg.paths[0].reverse_impairment.is_noop());
+            // Path 1 carries the fault on at least one direction.
+            assert!(
+                !cfg.paths[1].forward_impairment.is_noop()
+                    || !cfg.paths[1].reverse_impairment.is_noop(),
+                "{kind:?}"
+            );
+            let paths = cfg.build_paths(3);
+            assert_eq!(paths.len(), 2);
+        }
+        // FeedbackLoss impairs only the reverse direction.
+        let fb = ScenarioConfig::chaos(ImpairmentKind::FeedbackLoss);
+        assert!(fb.paths[1].forward_impairment.is_noop());
+        assert!(!fb.paths[1].reverse_impairment.is_noop());
+    }
+
+    #[test]
+    fn path_spec_impairments_reach_the_links() {
+        use converge_net::{Direction, SendOutcome};
+        let spec = PathSpec::constant(10_000_000, 10, 0.0).impaired_both(
+            ImpairmentConfig::blackout(BlackoutSchedule::single(
+                SimTime::ZERO,
+                SimDuration::from_secs(1),
+            )),
+        );
+        let mut emu: converge_net::NetworkEmulator<u8> =
+            converge_net::NetworkEmulator::new(vec![spec.build(PathId(0), 1)]);
+        let (fwd, _) = emu.send(PathId(0), Direction::Forward, SimTime::ZERO, 100, 0);
+        let (rev, _) = emu.send(PathId(0), Direction::Reverse, SimTime::ZERO, 100, 0);
+        assert_eq!(fwd, SendOutcome::Blackout);
+        assert_eq!(rev, SendOutcome::Blackout);
     }
 
     #[test]

@@ -6,9 +6,11 @@ use std::collections::BTreeMap;
 
 use converge_core::PacketClass;
 use converge_gcc::GccConfig;
-use converge_net::{event::EventQueue, Direction, NetworkEmulator, PathId, SimDuration, SimTime};
+use converge_net::{
+    event::EventQueue, Direction, ImpairmentConfig, NetworkEmulator, PathId, SimDuration, SimTime,
+};
 use converge_rtp::RtcpPacket;
-use converge_trace::{TraceEvent, TraceHandle};
+use converge_trace::{InvariantSink, TraceEvent, TraceHandle, Violation};
 
 use crate::metrics::{CallReport, MetricsCollector};
 use crate::pacer::{Pacer, PacerConfig};
@@ -60,6 +62,8 @@ pub enum ConfigError {
     ZeroEncodingRate,
     /// An RTCP interval was zero (the session loop would spin).
     ZeroRtcpInterval,
+    /// An `impair` call named a path index the scenario does not have.
+    ImpairmentPathOutOfRange,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -71,6 +75,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroDuration => "duration must be positive",
             ConfigError::ZeroEncodingRate => "max encoding rate must be positive",
             ConfigError::ZeroRtcpInterval => "RTCP intervals must be positive",
+            ConfigError::ImpairmentPathOutOfRange => {
+                "impair names a path index outside the scenario"
+            }
         };
         f.write_str(msg)
     }
@@ -98,6 +105,7 @@ pub struct SessionConfigBuilder {
     seed: u64,
     coupled_cc: bool,
     trace: TraceHandle,
+    impairments: Vec<(u8, Direction, ImpairmentConfig)>,
 }
 
 impl Default for SessionConfigBuilder {
@@ -114,6 +122,7 @@ impl Default for SessionConfigBuilder {
             seed: 0,
             coupled_cc: false,
             trace: TraceHandle::disabled(),
+            impairments: Vec::new(),
         }
     }
 }
@@ -185,11 +194,31 @@ impl SessionConfigBuilder {
         self
     }
 
+    /// Overrides one direction of one scenario path with a fault-injection
+    /// config (applied on top of whatever the scenario already specifies).
+    /// May be called repeatedly; the path index is validated at [`build`].
+    ///
+    /// [`build`]: SessionConfigBuilder::build
+    pub fn impair(mut self, path: u8, direction: Direction, impairment: ImpairmentConfig) -> Self {
+        self.impairments.push((path, direction, impairment));
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<SessionConfig, ConfigError> {
-        let scenario = self.scenario.ok_or(ConfigError::MissingScenario)?;
+        let mut scenario = self.scenario.ok_or(ConfigError::MissingScenario)?;
         if scenario.paths.is_empty() {
             return Err(ConfigError::EmptyScenario);
+        }
+        for (path, direction, impairment) in self.impairments {
+            let spec = scenario
+                .paths
+                .get_mut(path as usize)
+                .ok_or(ConfigError::ImpairmentPathOutOfRange)?;
+            match direction {
+                Direction::Forward => spec.forward_impairment = impairment,
+                Direction::Reverse => spec.reverse_impairment = impairment,
+            }
         }
         if self.streams == 0 {
             return Err(ConfigError::NoStreams);
@@ -273,6 +302,19 @@ impl Session {
     /// Creates a session.
     pub fn new(config: SessionConfig) -> Self {
         Session { config }
+    }
+
+    /// Runs the call with an [`InvariantSink`] armed around the configured
+    /// trace sink: every event is checked against the control-loop
+    /// invariants, then forwarded unchanged, so trace output is identical
+    /// to [`Session::run`]. Returns the report plus any violations.
+    pub fn run_checked(self) -> (CallReport, Vec<Violation>) {
+        let mut cfg = self.config;
+        let checker = std::sync::Arc::new(InvariantSink::wrapping(&cfg.trace));
+        cfg.trace = TraceHandle::new(checker.clone());
+        let report = Session::new(cfg).run();
+        let violations = checker.take_violations();
+        (report, violations)
     }
 
     /// Runs the call to completion and returns the report.
@@ -707,6 +749,58 @@ mod tests {
         assert_eq!(plain.frames_decoded, traced.frames_decoded);
         assert_eq!(plain.throughput_bps, traced.throughput_bps);
         assert_eq!(plain.nacks_sent, traced.nacks_sent);
+    }
+
+    #[test]
+    fn builder_impair_overrides_scenario_paths() {
+        use converge_net::{BlackoutSchedule, ImpairmentConfig};
+        let imp = ImpairmentConfig::degraded(0.2, SimDuration::from_millis(10));
+        let built = SessionConfig::builder()
+            .scenario(ScenarioConfig::fec_tradeoff(0.0))
+            .impair(1, Direction::Reverse, imp)
+            .build()
+            .expect("valid");
+        assert!(built.scenario.paths[0].reverse_impairment.is_noop());
+        assert_eq!(built.scenario.paths[1].reverse_impairment, imp);
+        assert!(built.scenario.paths[1].forward_impairment.is_noop());
+
+        let err = SessionConfig::builder()
+            .scenario(ScenarioConfig::fec_tradeoff(0.0))
+            .impair(
+                7,
+                Direction::Forward,
+                ImpairmentConfig::blackout(BlackoutSchedule::single(
+                    SimTime::ZERO,
+                    SimDuration::from_secs(1),
+                )),
+            )
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ImpairmentPathOutOfRange);
+    }
+
+    #[test]
+    fn run_checked_reports_clean_on_a_sane_call() {
+        let (report, violations) =
+            Session::new(quick_config(SchedulerKind::Converge, FecKind::Converge)).run_checked();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(report.frames_decoded > 400);
+    }
+
+    #[test]
+    fn run_checked_still_feeds_the_inner_sink() {
+        use std::sync::Arc;
+        let sink = Arc::new(converge_trace::RingSink::new(1 << 20));
+        let cfg = SessionConfig::builder()
+            .scenario(ScenarioConfig::fec_tradeoff(2.0))
+            .duration(SimDuration::from_secs(10))
+            .seed(9)
+            .trace(TraceHandle::new(sink.clone()))
+            .build()
+            .expect("valid");
+        let (_report, violations) = Session::new(cfg).run_checked();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(!sink.drain().is_empty(), "tee must forward records");
     }
 
     #[test]

@@ -23,8 +23,11 @@ use std::sync::{Arc, Mutex};
 
 use converge_net::{PathId, SimTime};
 
+pub mod invariant;
 pub mod jsonl;
 pub mod timeline;
+
+pub use invariant::{InvariantConfig, InvariantSink, Violation};
 
 /// Congestion-controller usage signal, mirroring GCC's overuse detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

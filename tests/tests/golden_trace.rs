@@ -1,0 +1,100 @@
+//! Golden-trace snapshot: one small, fully pinned session is rendered to
+//! JSONL and byte-compared against a checked-in fixture. Any change to
+//! the control loop, the event vocabulary, the JSONL encoding, or the
+//! emulator's RNG consumption shows up here as a diff — including the
+//! silent kind where a refactor perturbs the RNG stream without failing
+//! any behavioural test.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p converge-integration --test golden_trace
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use std::sync::Arc;
+
+use converge_net::SimDuration;
+use converge_sim::{FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig};
+use converge_trace::{jsonl, RingSink, TraceHandle};
+
+/// Renders the pinned golden session: 3 s of the FEC trade-off scenario
+/// (2% bursty loss, so the FEC controller, NACKs, and the loss process
+/// all contribute events) under Converge scheduling, seed 7.
+fn render_golden() -> String {
+    let ring = Arc::new(RingSink::new(1 << 20));
+    let cfg = SessionConfig::builder()
+        .scenario(ScenarioConfig::fec_tradeoff(2.0))
+        .scheduler(SchedulerKind::Converge)
+        .fec(FecKind::Converge)
+        .streams(1)
+        .duration(SimDuration::from_secs(3))
+        .seed(7)
+        .trace(TraceHandle::new(ring.clone()))
+        .build()
+        .expect("golden config is valid");
+    let report = Session::new(cfg).run();
+    assert!(report.frames_decoded > 0, "golden run must decode frames");
+    assert_eq!(ring.dropped(), 0, "ring must hold the whole timeline");
+    jsonl::render("golden", &ring.drain())
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("golden_trace.jsonl")
+}
+
+#[test]
+fn golden_trace_matches_checked_in_fixture() {
+    let rendered = render_golden();
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, &rendered).expect("write fixture");
+        eprintln!("golden fixture regenerated at {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if rendered != expected {
+        // A full-string assert_eq! would dump both multi-hundred-line
+        // documents; point at the first divergent line instead.
+        let diverged = rendered
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| {
+                let got = rendered.lines().nth(i).unwrap_or("<eof>");
+                let want = expected.lines().nth(i).unwrap_or("<eof>");
+                format!("first divergence at line {}:\n  got:  {got}\n  want: {want}", i + 1)
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: got {}, want {}",
+                    rendered.lines().count(),
+                    expected.lines().count()
+                )
+            });
+        panic!(
+            "golden trace drifted from {} — {diverged}\n\
+             If the change is intentional, regenerate with UPDATE_GOLDEN=1 \
+             and review the fixture diff.",
+            path.display()
+        );
+    }
+}
+
+/// The golden render itself is stable within a process: two back-to-back
+/// renders agree byte-for-byte, so a fixture mismatch always means the
+/// *code* changed, never that the run is nondeterministic.
+#[test]
+fn golden_render_is_self_consistent() {
+    assert_eq!(render_golden(), render_golden());
+}
