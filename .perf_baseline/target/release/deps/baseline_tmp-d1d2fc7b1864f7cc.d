@@ -1,0 +1,5 @@
+/root/repo/.perf_baseline/target/release/deps/baseline_tmp-d1d2fc7b1864f7cc.d: crates/converge-bench/src/bin/baseline_tmp.rs
+
+/root/repo/.perf_baseline/target/release/deps/baseline_tmp-d1d2fc7b1864f7cc: crates/converge-bench/src/bin/baseline_tmp.rs
+
+crates/converge-bench/src/bin/baseline_tmp.rs:

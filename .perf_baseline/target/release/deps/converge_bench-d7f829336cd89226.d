@@ -1,0 +1,21 @@
+/root/repo/.perf_baseline/target/release/deps/converge_bench-d7f829336cd89226.d: crates/converge-bench/src/lib.rs crates/converge-bench/src/experiments/mod.rs crates/converge-bench/src/experiments/ablations.rs crates/converge-bench/src/experiments/chaos.rs crates/converge-bench/src/experiments/fec_tradeoff.rs crates/converge-bench/src/experiments/fig1.rs crates/converge-bench/src/experiments/fig11_table4.rs crates/converge-bench/src/experiments/fig14_15.rs crates/converge-bench/src/experiments/fig3_table1.rs crates/converge-bench/src/experiments/fig9_10_table3.rs crates/converge-bench/src/experiments/stationary.rs crates/converge-bench/src/experiments/traces.rs crates/converge-bench/src/runner.rs crates/converge-bench/src/stats.rs crates/converge-bench/src/sweep.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_bench-d7f829336cd89226.rlib: crates/converge-bench/src/lib.rs crates/converge-bench/src/experiments/mod.rs crates/converge-bench/src/experiments/ablations.rs crates/converge-bench/src/experiments/chaos.rs crates/converge-bench/src/experiments/fec_tradeoff.rs crates/converge-bench/src/experiments/fig1.rs crates/converge-bench/src/experiments/fig11_table4.rs crates/converge-bench/src/experiments/fig14_15.rs crates/converge-bench/src/experiments/fig3_table1.rs crates/converge-bench/src/experiments/fig9_10_table3.rs crates/converge-bench/src/experiments/stationary.rs crates/converge-bench/src/experiments/traces.rs crates/converge-bench/src/runner.rs crates/converge-bench/src/stats.rs crates/converge-bench/src/sweep.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_bench-d7f829336cd89226.rmeta: crates/converge-bench/src/lib.rs crates/converge-bench/src/experiments/mod.rs crates/converge-bench/src/experiments/ablations.rs crates/converge-bench/src/experiments/chaos.rs crates/converge-bench/src/experiments/fec_tradeoff.rs crates/converge-bench/src/experiments/fig1.rs crates/converge-bench/src/experiments/fig11_table4.rs crates/converge-bench/src/experiments/fig14_15.rs crates/converge-bench/src/experiments/fig3_table1.rs crates/converge-bench/src/experiments/fig9_10_table3.rs crates/converge-bench/src/experiments/stationary.rs crates/converge-bench/src/experiments/traces.rs crates/converge-bench/src/runner.rs crates/converge-bench/src/stats.rs crates/converge-bench/src/sweep.rs
+
+crates/converge-bench/src/lib.rs:
+crates/converge-bench/src/experiments/mod.rs:
+crates/converge-bench/src/experiments/ablations.rs:
+crates/converge-bench/src/experiments/chaos.rs:
+crates/converge-bench/src/experiments/fec_tradeoff.rs:
+crates/converge-bench/src/experiments/fig1.rs:
+crates/converge-bench/src/experiments/fig11_table4.rs:
+crates/converge-bench/src/experiments/fig14_15.rs:
+crates/converge-bench/src/experiments/fig3_table1.rs:
+crates/converge-bench/src/experiments/fig9_10_table3.rs:
+crates/converge-bench/src/experiments/stationary.rs:
+crates/converge-bench/src/experiments/traces.rs:
+crates/converge-bench/src/runner.rs:
+crates/converge-bench/src/stats.rs:
+crates/converge-bench/src/sweep.rs:

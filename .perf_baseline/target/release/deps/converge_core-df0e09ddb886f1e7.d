@@ -1,0 +1,15 @@
+/root/repo/.perf_baseline/target/release/deps/converge_core-df0e09ddb886f1e7.d: crates/converge-core/src/lib.rs crates/converge-core/src/fastpath.rs crates/converge-core/src/fec_controller.rs crates/converge-core/src/feedback.rs crates/converge-core/src/metrics.rs crates/converge-core/src/priority.rs crates/converge-core/src/scheduler/mod.rs crates/converge-core/src/scheduler/baselines.rs crates/converge-core/src/scheduler/converge.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_core-df0e09ddb886f1e7.rlib: crates/converge-core/src/lib.rs crates/converge-core/src/fastpath.rs crates/converge-core/src/fec_controller.rs crates/converge-core/src/feedback.rs crates/converge-core/src/metrics.rs crates/converge-core/src/priority.rs crates/converge-core/src/scheduler/mod.rs crates/converge-core/src/scheduler/baselines.rs crates/converge-core/src/scheduler/converge.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_core-df0e09ddb886f1e7.rmeta: crates/converge-core/src/lib.rs crates/converge-core/src/fastpath.rs crates/converge-core/src/fec_controller.rs crates/converge-core/src/feedback.rs crates/converge-core/src/metrics.rs crates/converge-core/src/priority.rs crates/converge-core/src/scheduler/mod.rs crates/converge-core/src/scheduler/baselines.rs crates/converge-core/src/scheduler/converge.rs
+
+crates/converge-core/src/lib.rs:
+crates/converge-core/src/fastpath.rs:
+crates/converge-core/src/fec_controller.rs:
+crates/converge-core/src/feedback.rs:
+crates/converge-core/src/metrics.rs:
+crates/converge-core/src/priority.rs:
+crates/converge-core/src/scheduler/mod.rs:
+crates/converge-core/src/scheduler/baselines.rs:
+crates/converge-core/src/scheduler/converge.rs:

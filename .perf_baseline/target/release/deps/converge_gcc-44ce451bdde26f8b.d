@@ -1,0 +1,12 @@
+/root/repo/.perf_baseline/target/release/deps/converge_gcc-44ce451bdde26f8b.d: crates/converge-gcc/src/lib.rs crates/converge-gcc/src/aimd.rs crates/converge-gcc/src/arrival.rs crates/converge-gcc/src/controller.rs crates/converge-gcc/src/loss_based.rs crates/converge-gcc/src/trendline.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_gcc-44ce451bdde26f8b.rlib: crates/converge-gcc/src/lib.rs crates/converge-gcc/src/aimd.rs crates/converge-gcc/src/arrival.rs crates/converge-gcc/src/controller.rs crates/converge-gcc/src/loss_based.rs crates/converge-gcc/src/trendline.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_gcc-44ce451bdde26f8b.rmeta: crates/converge-gcc/src/lib.rs crates/converge-gcc/src/aimd.rs crates/converge-gcc/src/arrival.rs crates/converge-gcc/src/controller.rs crates/converge-gcc/src/loss_based.rs crates/converge-gcc/src/trendline.rs
+
+crates/converge-gcc/src/lib.rs:
+crates/converge-gcc/src/aimd.rs:
+crates/converge-gcc/src/arrival.rs:
+crates/converge-gcc/src/controller.rs:
+crates/converge-gcc/src/loss_based.rs:
+crates/converge-gcc/src/trendline.rs:

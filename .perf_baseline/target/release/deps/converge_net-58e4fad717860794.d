@@ -1,0 +1,16 @@
+/root/repo/.perf_baseline/target/release/deps/converge_net-58e4fad717860794.d: crates/converge-net/src/lib.rs crates/converge-net/src/aqm.rs crates/converge-net/src/emulator.rs crates/converge-net/src/event.rs crates/converge-net/src/impairment.rs crates/converge-net/src/link.rs crates/converge-net/src/loss.rs crates/converge-net/src/path.rs crates/converge-net/src/time.rs crates/converge-net/src/trace.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_net-58e4fad717860794.rlib: crates/converge-net/src/lib.rs crates/converge-net/src/aqm.rs crates/converge-net/src/emulator.rs crates/converge-net/src/event.rs crates/converge-net/src/impairment.rs crates/converge-net/src/link.rs crates/converge-net/src/loss.rs crates/converge-net/src/path.rs crates/converge-net/src/time.rs crates/converge-net/src/trace.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_net-58e4fad717860794.rmeta: crates/converge-net/src/lib.rs crates/converge-net/src/aqm.rs crates/converge-net/src/emulator.rs crates/converge-net/src/event.rs crates/converge-net/src/impairment.rs crates/converge-net/src/link.rs crates/converge-net/src/loss.rs crates/converge-net/src/path.rs crates/converge-net/src/time.rs crates/converge-net/src/trace.rs
+
+crates/converge-net/src/lib.rs:
+crates/converge-net/src/aqm.rs:
+crates/converge-net/src/emulator.rs:
+crates/converge-net/src/event.rs:
+crates/converge-net/src/impairment.rs:
+crates/converge-net/src/link.rs:
+crates/converge-net/src/loss.rs:
+crates/converge-net/src/path.rs:
+crates/converge-net/src/time.rs:
+crates/converge-net/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/.perf_baseline/target/release/deps/converge_rtp-f803119e2c967d8c.d: crates/converge-rtp/src/lib.rs crates/converge-rtp/src/extension.rs crates/converge-rtp/src/fec.rs crates/converge-rtp/src/packet.rs crates/converge-rtp/src/rtcp.rs crates/converge-rtp/src/srtp.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_rtp-f803119e2c967d8c.rlib: crates/converge-rtp/src/lib.rs crates/converge-rtp/src/extension.rs crates/converge-rtp/src/fec.rs crates/converge-rtp/src/packet.rs crates/converge-rtp/src/rtcp.rs crates/converge-rtp/src/srtp.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_rtp-f803119e2c967d8c.rmeta: crates/converge-rtp/src/lib.rs crates/converge-rtp/src/extension.rs crates/converge-rtp/src/fec.rs crates/converge-rtp/src/packet.rs crates/converge-rtp/src/rtcp.rs crates/converge-rtp/src/srtp.rs
+
+crates/converge-rtp/src/lib.rs:
+crates/converge-rtp/src/extension.rs:
+crates/converge-rtp/src/fec.rs:
+crates/converge-rtp/src/packet.rs:
+crates/converge-rtp/src/rtcp.rs:
+crates/converge-rtp/src/srtp.rs:

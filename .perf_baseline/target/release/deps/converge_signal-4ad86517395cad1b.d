@@ -1,0 +1,10 @@
+/root/repo/.perf_baseline/target/release/deps/converge_signal-4ad86517395cad1b.d: crates/converge-signal/src/lib.rs crates/converge-signal/src/ice.rs crates/converge-signal/src/monitor.rs crates/converge-signal/src/sdp.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_signal-4ad86517395cad1b.rlib: crates/converge-signal/src/lib.rs crates/converge-signal/src/ice.rs crates/converge-signal/src/monitor.rs crates/converge-signal/src/sdp.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_signal-4ad86517395cad1b.rmeta: crates/converge-signal/src/lib.rs crates/converge-signal/src/ice.rs crates/converge-signal/src/monitor.rs crates/converge-signal/src/sdp.rs
+
+crates/converge-signal/src/lib.rs:
+crates/converge-signal/src/ice.rs:
+crates/converge-signal/src/monitor.rs:
+crates/converge-signal/src/sdp.rs:

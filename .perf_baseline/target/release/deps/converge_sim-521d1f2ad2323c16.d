@@ -1,0 +1,16 @@
+/root/repo/.perf_baseline/target/release/deps/converge_sim-521d1f2ad2323c16.d: crates/converge-sim/src/lib.rs crates/converge-sim/src/duplex.rs crates/converge-sim/src/metrics.rs crates/converge-sim/src/pacer.rs crates/converge-sim/src/payload.rs crates/converge-sim/src/receiver.rs crates/converge-sim/src/scenarios.rs crates/converge-sim/src/sender.rs crates/converge-sim/src/session.rs crates/converge-sim/src/wire.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_sim-521d1f2ad2323c16.rlib: crates/converge-sim/src/lib.rs crates/converge-sim/src/duplex.rs crates/converge-sim/src/metrics.rs crates/converge-sim/src/pacer.rs crates/converge-sim/src/payload.rs crates/converge-sim/src/receiver.rs crates/converge-sim/src/scenarios.rs crates/converge-sim/src/sender.rs crates/converge-sim/src/session.rs crates/converge-sim/src/wire.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_sim-521d1f2ad2323c16.rmeta: crates/converge-sim/src/lib.rs crates/converge-sim/src/duplex.rs crates/converge-sim/src/metrics.rs crates/converge-sim/src/pacer.rs crates/converge-sim/src/payload.rs crates/converge-sim/src/receiver.rs crates/converge-sim/src/scenarios.rs crates/converge-sim/src/sender.rs crates/converge-sim/src/session.rs crates/converge-sim/src/wire.rs
+
+crates/converge-sim/src/lib.rs:
+crates/converge-sim/src/duplex.rs:
+crates/converge-sim/src/metrics.rs:
+crates/converge-sim/src/pacer.rs:
+crates/converge-sim/src/payload.rs:
+crates/converge-sim/src/receiver.rs:
+crates/converge-sim/src/scenarios.rs:
+crates/converge-sim/src/sender.rs:
+crates/converge-sim/src/session.rs:
+crates/converge-sim/src/wire.rs:

@@ -1,0 +1,10 @@
+/root/repo/.perf_baseline/target/release/deps/converge_trace-28381174f032daee.d: crates/converge-trace/src/lib.rs crates/converge-trace/src/invariant.rs crates/converge-trace/src/jsonl.rs crates/converge-trace/src/timeline.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_trace-28381174f032daee.rlib: crates/converge-trace/src/lib.rs crates/converge-trace/src/invariant.rs crates/converge-trace/src/jsonl.rs crates/converge-trace/src/timeline.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_trace-28381174f032daee.rmeta: crates/converge-trace/src/lib.rs crates/converge-trace/src/invariant.rs crates/converge-trace/src/jsonl.rs crates/converge-trace/src/timeline.rs
+
+crates/converge-trace/src/lib.rs:
+crates/converge-trace/src/invariant.rs:
+crates/converge-trace/src/jsonl.rs:
+crates/converge-trace/src/timeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/.perf_baseline/target/release/deps/converge_video-55207666e98e264f.d: crates/converge-video/src/lib.rs crates/converge-video/src/codec.rs crates/converge-video/src/frame_buffer.rs crates/converge-video/src/packet_buffer.rs crates/converge-video/src/packetize.rs crates/converge-video/src/quality.rs crates/converge-video/src/types.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_video-55207666e98e264f.rlib: crates/converge-video/src/lib.rs crates/converge-video/src/codec.rs crates/converge-video/src/frame_buffer.rs crates/converge-video/src/packet_buffer.rs crates/converge-video/src/packetize.rs crates/converge-video/src/quality.rs crates/converge-video/src/types.rs
+
+/root/repo/.perf_baseline/target/release/deps/libconverge_video-55207666e98e264f.rmeta: crates/converge-video/src/lib.rs crates/converge-video/src/codec.rs crates/converge-video/src/frame_buffer.rs crates/converge-video/src/packet_buffer.rs crates/converge-video/src/packetize.rs crates/converge-video/src/quality.rs crates/converge-video/src/types.rs
+
+crates/converge-video/src/lib.rs:
+crates/converge-video/src/codec.rs:
+crates/converge-video/src/frame_buffer.rs:
+crates/converge-video/src/packet_buffer.rs:
+crates/converge-video/src/packetize.rs:
+crates/converge-video/src/quality.rs:
+crates/converge-video/src/types.rs:

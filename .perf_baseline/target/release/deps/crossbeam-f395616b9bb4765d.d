@@ -1,0 +1,7 @@
+/root/repo/.perf_baseline/target/release/deps/crossbeam-f395616b9bb4765d.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/.perf_baseline/target/release/deps/libcrossbeam-f395616b9bb4765d.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/.perf_baseline/target/release/deps/libcrossbeam-f395616b9bb4765d.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/.perf_baseline/target/release/deps/rand-84bff880d4e81654.d: vendor/rand/src/lib.rs
+
+/root/repo/.perf_baseline/target/release/deps/librand-84bff880d4e81654.rlib: vendor/rand/src/lib.rs
+
+/root/repo/.perf_baseline/target/release/deps/librand-84bff880d4e81654.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:
