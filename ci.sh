@@ -44,4 +44,36 @@ cargo run --release -p converge-bench --bin experiments -- \
 test -s results/smoke_chaos.txt
 grep -q 'Chaos matrix' results/smoke_chaos.txt
 
+# Controller-shootout gate: 1 seed x 3 controllers (GCC, NADA, mp-BBR)
+# through the full scheduler/FEC loop with the invariant checker armed —
+# proves the non-default controllers hold the control-loop invariants.
+cargo run --release -p converge-bench --bin experiments -- \
+    shootout --quick --jobs 2 --check-invariants > results/smoke_shootout.txt
+test -s results/smoke_shootout.txt
+grep -q 'mp-BBR' results/smoke_shootout.txt
+grep -q 'NADA' results/smoke_shootout.txt
+
+# Perf trajectory: re-run fig11 with bench accounting and compare the
+# sim-s/wall-s throughput against the committed baseline. The threshold
+# is deliberately generous (>= 1/4 of baseline) — it catches order-of-
+# magnitude regressions (accidental O(n^2), debug spew), not machine
+# noise.
+cargo run --release -p converge-bench --bin experiments -- \
+    fig11 --quick --jobs 2 --bench-json results/BENCH_fig11.current.json > /dev/null
+awk '
+    FNR == 1 { file++ }
+    /"sim_s_per_wall_s"/ {
+        v = $0; sub(/.*"sim_s_per_wall_s": */, "", v); sub(/,.*/, "", v)
+        rate[file] = v + 0
+    }
+    END {
+        if (rate[1] <= 0) { print "ci: missing baseline sim_s_per_wall_s"; exit 1 }
+        if (rate[2] < rate[1] / 4) {
+            printf "ci: fig11 throughput regressed: %.1f sim-s/wall-s vs baseline %.1f\n", rate[2], rate[1]
+            exit 1
+        }
+        printf "ci: fig11 throughput %.1f sim-s/wall-s (baseline %.1f)\n", rate[2], rate[1]
+    }
+' results/BENCH_fig11.json results/BENCH_fig11.current.json
+
 echo "ci: ok"

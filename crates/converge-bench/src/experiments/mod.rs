@@ -13,6 +13,7 @@ pub mod fig11_table4;
 pub mod fig14_15;
 pub mod fig3_table1;
 pub mod fig9_10_table3;
+pub mod shootout;
 pub mod stationary;
 pub mod traces;
 
@@ -181,6 +182,12 @@ pub fn registry() -> Vec<ExperimentDef> {
             aliases: &[],
             desc: "fault-injection matrix: scheduler x impairment x seed",
             spec: chaos::spec,
+        },
+        ExperimentDef {
+            id: "shootout",
+            aliases: &[],
+            desc: "controller shootout: GCC vs NADA vs mp-BBR",
+            spec: shootout::spec,
         },
     ]
 }

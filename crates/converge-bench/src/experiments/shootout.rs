@@ -1,0 +1,171 @@
+//! Controller shootout — the congestion-control axis the paper fixes to
+//! GCC, swept: every [`ControllerKind`] (GCC, NADA, mp-BBR) drives the
+//! same calls through the full Converge scheduler/FEC loop, and the fold
+//! compares the QoE each controller's rate dynamics produce.
+
+use converge_sim::{ControllerKind, FecKind, SchedulerKind};
+
+use crate::runner::{metric, pm, Cell, Job, Scale, ScenarioSpec};
+use crate::sweep::{ExperimentSpec, Reports};
+
+fn scenarios() -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        ("loss-2%", ScenarioSpec::fec_tradeoff_pct(2.0)),
+        ("driving", ScenarioSpec::Driving),
+    ]
+}
+
+fn shootout_cell(scenario: ScenarioSpec, controller: ControllerKind) -> Cell {
+    Cell::new(scenario, SchedulerKind::Converge, FecKind::Converge, 1).with_controller(controller)
+}
+
+/// Quick scale is the CI smoke cell: one seed per (scenario, controller)
+/// keeps the gate cheap; full scale averages over every seed.
+fn seeds(scale: Scale) -> &'static [u64] {
+    match scale {
+        Scale::Quick => &scale.seeds()[..1],
+        Scale::Full => scale.seeds(),
+    }
+}
+
+/// Declares the shootout: scenario × controller × seed.
+pub fn spec(scale: Scale) -> ExperimentSpec {
+    let mut jobs = Vec::new();
+    for (_, scenario) in scenarios() {
+        for controller in ControllerKind::ALL {
+            for &seed in seeds(scale) {
+                jobs.push(Job::new(
+                    shootout_cell(scenario, controller),
+                    scale.duration(),
+                    seed,
+                ));
+            }
+        }
+    }
+    ExperimentSpec {
+        jobs,
+        fold: Box::new(move |reports| {
+            let mut r = Reports::new(reports);
+            let mut out = String::new();
+            out.push_str("# Controller shootout — GCC vs NADA vs mp-BBR through the full\n");
+            out.push_str("# Converge scheduler/FEC loop (same calls, same seeds)\n");
+            out.push_str(&format!(
+                "{:<10} {:<8} {:>12} {:>10} {:>14} {:>10}\n",
+                "#scenario", "ctrl", "norm_tput", "norm_fps", "avg_stall_ms", "e2e_ms"
+            ));
+            for (scenario_label, _) in scenarios() {
+                for controller in ControllerKind::ALL {
+                    let reports = r.take(seeds(scale).len());
+                    out.push_str(&format!(
+                        "{:<10} {:<8} {:>12} {:>10} {:>14} {:>10}\n",
+                        scenario_label,
+                        controller.label(),
+                        pm(&metric(reports, |r| r.normalized_throughput()), 2),
+                        pm(&metric(reports, |r| r.normalized_fps()), 2),
+                        pm(&metric(reports, |r| r.avg_freeze_ms()), 0),
+                        pm(&metric(reports, |r| r.e2e_mean_ms), 0),
+                    ));
+                }
+                out.push('\n');
+            }
+            out.push_str("# expected shape: GCC (the paper's controller) sets the baseline;\n");
+            out.push_str("# NADA tracks it closely on steady loss, mp-BBR probes harder and\n");
+            out.push_str("# trades extra queuing delay for throughput on variable paths.\n");
+            out
+        }),
+    }
+}
+
+/// Runs the shootout through the process-wide cache.
+pub fn run(scale: Scale) -> String {
+    crate::sweep::render(spec(scale), crate::sweep::CellCache::global())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use converge_net::SimDuration;
+
+    /// Acceptance gate: every controller drives the full scheduler/FEC
+    /// loop with a clean invariant checker, and the non-GCC controllers
+    /// leave their own trace events in the timeline.
+    #[test]
+    fn every_controller_runs_clean_through_the_full_loop() {
+        for controller in ControllerKind::ALL {
+            let job = Job::new(
+                shootout_cell(ScenarioSpec::fec_tradeoff_pct(2.0), controller),
+                SimDuration::from_secs(10),
+                11,
+            );
+            let (report, records, violations) = job.run_checked();
+            assert!(violations.is_empty(), "{}: {violations:?}", controller.id());
+            assert!(
+                report.frames_decoded > 100,
+                "{}: {} frames",
+                controller.id(),
+                report.frames_decoded
+            );
+            if controller != ControllerKind::Gcc {
+                let has_cc_rate = records
+                    .iter()
+                    .any(|rec| rec.event.name() == "cc_rate_changed");
+                assert!(has_cc_rate, "{} must emit cc_rate_changed", controller.id());
+            }
+        }
+    }
+
+    /// The determinism satellite: for each controller, the captured JSONL
+    /// timeline is byte-identical whether the sweep ran on 1 worker or 4.
+    #[test]
+    fn per_controller_traces_are_byte_identical_across_worker_counts() {
+        let jobs: Vec<Job> = ControllerKind::ALL
+            .iter()
+            .map(|&controller| {
+                Job::new(
+                    shootout_cell(ScenarioSpec::fec_tradeoff_pct(2.0), controller),
+                    SimDuration::from_secs(5),
+                    42,
+                )
+            })
+            .collect();
+        let render_traces = |workers: usize| -> Vec<String> {
+            let cache = crate::sweep::CellCache::new();
+            cache.set_trace_capture(true);
+            let spec = ExperimentSpec {
+                jobs: jobs.clone(),
+                fold: Box::new(|_| String::new()),
+            };
+            crate::sweep::run_sweep(vec![("shootout".into(), spec)], Scale::Quick, workers, &cache);
+            jobs.iter()
+                .map(|job| {
+                    let run = cache.get_or_run(job);
+                    let records = run.trace.as_ref().expect("capture armed");
+                    assert!(!records.is_empty(), "{}", job.fingerprint());
+                    converge_trace::jsonl::render(&job.fingerprint(), records)
+                })
+                .collect()
+        };
+        assert_eq!(
+            render_traces(1),
+            render_traces(4),
+            "per-controller timelines must not depend on --jobs"
+        );
+    }
+
+    #[test]
+    fn spec_covers_every_controller_per_scenario() {
+        let spec = spec(Scale::Quick);
+        // The CI smoke cell: 2 scenarios × 3 controllers × 1 seed.
+        assert_eq!(
+            spec.jobs.len(),
+            scenarios().len() * ControllerKind::ALL.len()
+        );
+        for controller in ControllerKind::ALL {
+            assert!(
+                spec.jobs.iter().any(|j| j.cell.controller == controller),
+                "{} missing from the shootout",
+                controller.id()
+            );
+        }
+    }
+}

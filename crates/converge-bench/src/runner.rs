@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 use converge_net::{QueueDiscipline, RateTrace, SimDuration};
 use converge_sim::{
-    CallReport, FecKind, ImpairmentKind, ScenarioConfig, SchedulerKind, Session, SessionConfig,
+    CallReport, ControllerKind, FecKind, ImpairmentKind, ScenarioConfig, SchedulerKind, Session,
+    SessionConfig,
 };
 use converge_trace::{InvariantSink, RingSink, TraceHandle, TraceRecord, Violation};
 
@@ -122,10 +123,13 @@ pub struct Cell {
     /// LIA-style coupled congestion control (the coupling ablation);
     /// `false` everywhere else, matching the paper.
     pub coupled_cc: bool,
+    /// Per-path congestion-control algorithm (GCC everywhere except the
+    /// controller shootout).
+    pub controller: ControllerKind,
 }
 
 impl Cell {
-    /// A cell with the paper's default (uncoupled) congestion control.
+    /// A cell with the paper's default (uncoupled GCC) congestion control.
     pub fn new(
         scenario: ScenarioSpec,
         scheduler: SchedulerKind,
@@ -138,7 +142,14 @@ impl Cell {
             fec,
             streams,
             coupled_cc: false,
+            controller: ControllerKind::Gcc,
         }
+    }
+
+    /// The same cell under a different congestion controller.
+    pub fn with_controller(mut self, controller: ControllerKind) -> Self {
+        self.controller = controller;
+        self
     }
 }
 
@@ -166,15 +177,16 @@ impl Job {
     }
 
     /// The canonical fingerprint (scenario, scheduler, FEC, streams,
-    /// coupling, duration, seed) rendered as text for logs.
+    /// coupling, controller, duration, seed) rendered as text for logs.
     pub fn fingerprint(&self) -> String {
         format!(
-            "{}|{:?}|{:?}|s{}|cc{}|d{}us|seed{}",
+            "{}|{:?}|{:?}|s{}|cc{}|{}|d{}us|seed{}",
             self.cell.scenario.id(),
             self.cell.scheduler,
             self.cell.fec,
             self.cell.streams,
             self.cell.coupled_cc as u8,
+            self.cell.controller.id(),
             self.duration.as_micros(),
             self.seed
         )
@@ -195,6 +207,7 @@ impl Job {
             .duration(self.duration)
             .seed(self.seed)
             .coupled_cc(self.cell.coupled_cc)
+            .controller(self.cell.controller)
             .trace(trace)
             .build()
             .expect("job parameters form a valid session config")
@@ -408,5 +421,8 @@ mod tests {
         let mut coupled = cell;
         coupled.coupled_cc = true;
         assert_ne!(Job::new(coupled, d, 11).fingerprint(), a.fingerprint());
+        // The controller axis is part of the cell identity too.
+        let nada = cell.with_controller(ControllerKind::Nada);
+        assert_ne!(Job::new(nada, d, 11).fingerprint(), a.fingerprint());
     }
 }

@@ -1,0 +1,480 @@
+//! NADA congestion control (RFC 8698), adapted to Converge's per-path
+//! feedback loop.
+//!
+//! NADA folds every congestion signal into one scalar, the *aggregate
+//! congestion signal* `x_curr`:
+//!
+//! ```text
+//! x_curr = d_queue + DLOSS_REF · (p_loss / PLR_REF)²
+//! ```
+//!
+//! where `d_queue` is the filtered queuing delay (one-way delay above the
+//! per-path minimum baseline) and the quadratic term converts observed
+//! loss into an equivalent delay penalty. The controller then runs in one
+//! of two modes (RFC 8698 §4.2–4.3):
+//!
+//! - **Accelerated ramp-up** while the path shows no congestion (no loss,
+//!   queuing delay under `qeps_ms`): the rate jumps to
+//!   `(1 + γ) · r_recv`, with `γ ≤ γ_max` shrinking as the feedback loop
+//!   slows (`γ = min(γ_max, qbound / (rtt + δ + d_filt))`), so the
+//!   transient queue the jump can build stays bounded by `qbound`.
+//! - **Gradual update** otherwise: a PI controller steps the rate against
+//!   the offset of `x_curr` from a rate-inverse reference point
+//!   (`x_offset`) and against the signal's slope (`x_diff`), giving
+//!   proportional fairness between NADA flows.
+
+use std::collections::VecDeque;
+
+use converge_gcc::PacketTiming;
+use converge_net::{PathId, SimDuration, SimTime};
+use converge_trace::{CcAlgorithm, CcPhase, TraceEvent, TraceHandle};
+
+/// NADA tuning; defaults follow RFC 8698 §6.2 where the simulator has an
+/// equivalent knob.
+#[derive(Debug, Clone, Copy)]
+pub struct NadaConfig {
+    /// Starting rate, bps.
+    pub initial_rate_bps: f64,
+    /// Rate floor (RMIN), bps.
+    pub min_rate_bps: f64,
+    /// Rate ceiling (RMAX), bps.
+    pub max_rate_bps: f64,
+    /// Reference congestion level XREF, ms.
+    pub xref_ms: f64,
+    /// Scaling parameter for gradual rate updates (κ).
+    pub kappa: f64,
+    /// Scaling parameter for the derivative term (η).
+    pub eta: f64,
+    /// Upper bound of the RTT in the gradual-update loop (τ), ms.
+    pub tau_ms: f64,
+    /// Queuing-delay gate for accelerated ramp-up, ms: above this the
+    /// controller drops to gradual mode.
+    pub qeps_ms: f64,
+    /// Upper bound on self-inflicted queuing delay during ramp-up
+    /// (QBOUND), ms.
+    pub qbound_ms: f64,
+    /// Maximum ramp-up step γ_max (fractional rate increase per update).
+    pub gamma_max: f64,
+    /// Delay-measurement filtering latency (DFILT), ms — part of the
+    /// ramp-up feedback-loop delay budget.
+    pub dfilt_ms: f64,
+    /// Reference delay penalty for loss at the reference rate
+    /// (DLOSS), ms.
+    pub dloss_ref_ms: f64,
+    /// Reference packet-loss ratio the quadratic penalty normalizes to.
+    pub plr_ref: f64,
+    /// Weight of the flow (priority, RFC 8698 §5.1).
+    pub priority: f64,
+    /// Window over which the receive rate is measured.
+    pub rate_window: SimDuration,
+}
+
+impl Default for NadaConfig {
+    fn default() -> Self {
+        NadaConfig {
+            initial_rate_bps: 1_000_000.0,
+            min_rate_bps: 150_000.0,
+            max_rate_bps: 30_000_000.0,
+            xref_ms: 10.0,
+            kappa: 0.5,
+            eta: 2.0,
+            tau_ms: 500.0,
+            qeps_ms: 10.0,
+            qbound_ms: 50.0,
+            gamma_max: 0.5,
+            dfilt_ms: 120.0,
+            dloss_ref_ms: 10.0,
+            plr_ref: 0.01,
+            priority: 1.0,
+            rate_window: SimDuration::from_millis(1_000),
+        }
+    }
+}
+
+/// Per-path NADA controller.
+#[derive(Debug)]
+pub struct NadaController {
+    config: NadaConfig,
+    rate_bps: f64,
+    /// Minimum one-way delay observed on the path, µs (the delay
+    /// baseline; queuing delay is measured above it).
+    d_base_us: Option<u64>,
+    /// Filtered queuing delay, ms.
+    d_queue_ms: f64,
+    seen_delay: bool,
+    /// Previous aggregate congestion signal, ms.
+    x_prev_ms: f64,
+    /// Smoothed loss ratio the controller reacts to (protection-adjusted).
+    p_loss: f64,
+    last_update: Option<SimTime>,
+    srtt: Option<SimDuration>,
+    last_fraction_lost: f64,
+    increase_scale: f64,
+    /// (arrival time, bytes) of recent packets for receive-rate
+    /// measurement.
+    recent: VecDeque<(SimTime, usize)>,
+    phase: CcPhase,
+    trace: TraceHandle,
+    trace_path: PathId,
+    last_traced_phase: Option<CcPhase>,
+    last_traced_rate: Option<u64>,
+}
+
+impl NadaController {
+    /// Creates a controller.
+    pub fn new(config: NadaConfig) -> Self {
+        NadaController {
+            config,
+            rate_bps: config
+                .initial_rate_bps
+                .clamp(config.min_rate_bps, config.max_rate_bps),
+            d_base_us: None,
+            d_queue_ms: 0.0,
+            seen_delay: false,
+            x_prev_ms: 0.0,
+            p_loss: 0.0,
+            last_update: None,
+            srtt: None,
+            last_fraction_lost: 0.0,
+            increase_scale: 1.0,
+            recent: VecDeque::new(),
+            phase: CcPhase::RampUp,
+            trace: TraceHandle::disabled(),
+            trace_path: PathId(0),
+            last_traced_phase: None,
+            last_traced_rate: None,
+        }
+    }
+
+    /// Current operating mode (ramp-up vs gradual).
+    pub fn phase(&self) -> CcPhase {
+        self.phase
+    }
+
+    /// Current aggregate congestion signal `x_curr`, ms.
+    pub fn congestion_signal_ms(&self) -> f64 {
+        let loss_term =
+            self.config.dloss_ref_ms * (self.p_loss / self.config.plr_ref).powi(2);
+        (self.d_queue_ms + loss_term).min(10_000.0)
+    }
+
+    /// Measured receive rate over the rate window ending at `now`. Early
+    /// in a path's life the window shrinks to the observed span (floored
+    /// at 100 ms) so start-up is not under-measured.
+    pub fn receive_rate_bps(&self, now: SimTime) -> f64 {
+        let window_start = SimTime::from_micros(
+            now.as_micros()
+                .saturating_sub(self.config.rate_window.as_micros()),
+        );
+        let Some(&(first_at, _)) = self.recent.front() else {
+            return 0.0;
+        };
+        let effective_start = window_start.max(first_at);
+        let span = now
+            .saturating_since(effective_start)
+            .max(SimDuration::from_millis(100));
+        let bytes: usize = self
+            .recent
+            .iter()
+            .filter(|(at, _)| *at >= effective_start)
+            .map(|(_, b)| *b)
+            .sum();
+        bytes as f64 * 8.0 / span.as_secs_f64()
+    }
+
+    fn set_phase(&mut self, now: SimTime, phase: CcPhase) {
+        self.phase = phase;
+        if self.trace.is_enabled() && self.last_traced_phase != Some(phase) {
+            self.last_traced_phase = Some(phase);
+            self.trace.emit(
+                now,
+                TraceEvent::CcStateChanged {
+                    path: self.trace_path,
+                    algorithm: CcAlgorithm::Nada,
+                    phase,
+                },
+            );
+        }
+    }
+
+    fn trace_rate(&mut self, now: SimTime) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let rate = self.rate_bps as u64;
+        // Record only moves of ≥5 % so the timeline captures the
+        // envelope, not every PI step.
+        let moved = match self.last_traced_rate {
+            Some(prev) => rate.abs_diff(prev) * 20 >= prev.max(1),
+            None => true,
+        };
+        if moved {
+            self.last_traced_rate = Some(rate);
+            self.trace.emit(
+                now,
+                TraceEvent::CcRateChanged {
+                    path: self.trace_path,
+                    algorithm: CcAlgorithm::Nada,
+                    rate_bps: rate,
+                },
+            );
+        }
+    }
+}
+
+impl crate::CongestionController for NadaController {
+    fn algorithm(&self) -> CcAlgorithm {
+        CcAlgorithm::Nada
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle, path: PathId) {
+        self.trace = trace;
+        self.trace_path = path;
+    }
+
+    fn on_transport_feedback(&mut self, now: SimTime, packets: &[PacketTiming]) {
+        if packets.is_empty() {
+            return;
+        }
+        // Delay baseline + per-batch minimum queuing delay (the batch
+        // minimum approximates RFC 8698's min-filter over the feedback
+        // interval and is robust to intra-batch jitter).
+        let mut batch_queue_us: Option<u64> = None;
+        for p in packets {
+            self.recent.push_back((p.arrival_time, p.size));
+            let owd_us = p.arrival_time.saturating_since(p.send_time).as_micros();
+            let base = match self.d_base_us {
+                Some(b) => b.min(owd_us),
+                None => owd_us,
+            };
+            self.d_base_us = Some(base);
+            let queued = owd_us - base.min(owd_us);
+            batch_queue_us = Some(batch_queue_us.map_or(queued, |q| q.min(queued)));
+        }
+        // Trim the receive-rate window.
+        let keep_from = SimTime::from_micros(
+            now.as_micros()
+                .saturating_sub(self.config.rate_window.as_micros() * 2),
+        );
+        while let Some(&(at, _)) = self.recent.front() {
+            if at < keep_from {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let Some(q_us) = batch_queue_us {
+            let q_ms = q_us as f64 / 1_000.0;
+            self.d_queue_ms = if self.seen_delay {
+                0.9 * self.d_queue_ms + 0.1 * q_ms
+            } else {
+                q_ms
+            };
+            self.seen_delay = true;
+        }
+
+        let x_curr = self.congestion_signal_ms();
+        let delta_ms = match self.last_update {
+            Some(prev) => (now.saturating_since(prev).as_micros() as f64 / 1_000.0)
+                .clamp(10.0, 1_000.0),
+            None => 100.0,
+        };
+        self.last_update = Some(now);
+        let rtt_ms = self
+            .srtt
+            .map(|d| d.as_micros() as f64 / 1_000.0)
+            .unwrap_or(100.0);
+
+        if self.p_loss <= 1e-9 && self.d_queue_ms < self.config.qeps_ms {
+            // Accelerated ramp-up: jump toward (1+γ)·r_recv, where γ
+            // shrinks with the feedback-loop delay so the transient queue
+            // the jump builds stays under qbound.
+            self.set_phase(now, CcPhase::RampUp);
+            let gamma = (self.config.qbound_ms / (rtt_ms + delta_ms + self.config.dfilt_ms))
+                .min(self.config.gamma_max)
+                * self.increase_scale;
+            let recv = self.receive_rate_bps(now);
+            if recv > 0.0 {
+                self.rate_bps = self.rate_bps.max((1.0 + gamma) * recv);
+            }
+        } else {
+            // Gradual update: PI step against the reference offset and
+            // the signal slope.
+            self.set_phase(now, CcPhase::Gradual);
+            let x_offset = x_curr
+                - self.config.priority * self.config.xref_ms * self.config.max_rate_bps
+                    / self.rate_bps.max(self.config.min_rate_bps);
+            let x_diff = x_curr - self.x_prev_ms;
+            let tau = self.config.tau_ms;
+            let step = self.config.kappa * (delta_ms / tau) * (x_offset / tau) * self.rate_bps
+                + self.config.kappa * self.config.eta * (x_diff / tau) * self.rate_bps;
+            self.rate_bps -= step;
+        }
+        self.rate_bps = self
+            .rate_bps
+            .clamp(self.config.min_rate_bps, self.config.max_rate_bps);
+        self.x_prev_ms = x_curr;
+        self.trace_rate(now);
+    }
+
+    fn on_rtt_sample(&mut self, rtt: SimDuration) {
+        self.srtt = Some(match self.srtt {
+            None => rtt,
+            Some(prev) => SimDuration::from_micros((prev.as_micros() * 7 + rtt.as_micros()) / 8),
+        });
+    }
+
+    fn on_loss_report_protected(&mut self, fraction_lost: f64, protection_ratio: f64) {
+        self.last_fraction_lost = fraction_lost.clamp(0.0, 1.0);
+        let effective = (self.last_fraction_lost - protection_ratio.max(0.0)).max(0.0);
+        self.p_loss = 0.875 * self.p_loss + 0.125 * effective;
+        // Snap the EWMA tail to zero so loss-free paths re-enter the
+        // accelerated ramp-up instead of creeping asymptotically.
+        if effective <= 0.0 && self.p_loss < 1e-4 {
+            self.p_loss = 0.0;
+        }
+    }
+
+    fn target_rate_bps(&self) -> u64 {
+        self.rate_bps as u64
+    }
+
+    fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    fn fraction_lost(&self) -> f64 {
+        self.last_fraction_lost
+    }
+
+    fn cap_estimate(&mut self, bps: f64) {
+        self.rate_bps = self.rate_bps.min(bps).max(self.config.min_rate_bps);
+    }
+
+    fn set_increase_scale(&mut self, scale: f64) {
+        self.increase_scale = scale.clamp(0.01, 1.0);
+    }
+
+    fn delay_estimate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CongestionController;
+
+    /// Feeds `duration_ms` of packets arriving at `rate_bps` with a fixed
+    /// base delay plus `queue_ms` of standing queue, in 10-packet batches.
+    fn feedback_at_rate(
+        ctl: &mut NadaController,
+        start_ms: u64,
+        duration_ms: u64,
+        rate_bps: f64,
+        queue_ms: u64,
+    ) {
+        let pkt_interval_us = (1_200.0 * 8.0 / rate_bps * 1e6) as u64;
+        let n = (duration_ms * 1_000 / pkt_interval_us.max(1)) as usize;
+        let mut batch = Vec::new();
+        for i in 0..n {
+            let send = SimTime::from_micros(start_ms * 1_000 + i as u64 * pkt_interval_us);
+            batch.push(PacketTiming {
+                send_time: send,
+                arrival_time: send + SimDuration::from_micros(30_000 + queue_ms * 1_000),
+                size: 1_200,
+            });
+            if batch.len() == 10 {
+                let now = batch.last().unwrap().arrival_time;
+                ctl.on_transport_feedback(now, &batch);
+                batch.clear();
+            }
+        }
+    }
+
+    #[test]
+    fn ramp_up_is_bounded_by_gamma() {
+        let cfg = NadaConfig::default();
+        let mut ctl = NadaController::new(cfg);
+        ctl.on_rtt_sample(SimDuration::from_millis(60));
+        let mut prev = ctl.target_rate_bps() as f64;
+        for sec in 0..5 {
+            feedback_at_rate(&mut ctl, sec * 1_000, 1_000, 8_000_000.0, 0);
+            for _ in 0..10 {
+                ctl.on_loss_report_protected(0.0, 0.0);
+            }
+            let rate = ctl.target_rate_bps() as f64;
+            assert!(rate >= prev, "ramp-up never decreases: {prev} -> {rate}");
+            prev = rate;
+        }
+        assert_eq!(ctl.phase(), CcPhase::RampUp);
+        let rate = ctl.target_rate_bps() as f64;
+        assert!(rate > cfg.initial_rate_bps, "must ramp above start: {rate}");
+        // The jump target is (1+γ)·r_recv with γ ≤ γ_max, so the rate can
+        // never exceed the delivered rate by more than the γ_max factor.
+        assert!(
+            rate <= (1.0 + cfg.gamma_max) * 8_000_000.0 * 1.05,
+            "ramp-up overshoots the γ bound: {rate}"
+        );
+    }
+
+    #[test]
+    fn pi_decreases_rate_under_queuing_delay() {
+        let mut ctl = NadaController::new(NadaConfig::default());
+        ctl.on_rtt_sample(SimDuration::from_millis(60));
+        // Establish the delay baseline and a working rate.
+        feedback_at_rate(&mut ctl, 0, 3_000, 8_000_000.0, 0);
+        let before = ctl.target_rate_bps();
+        // A standing 80 ms queue pushes x_curr far above the reference
+        // point: the PI controller must back off.
+        feedback_at_rate(&mut ctl, 3_000, 2_000, 8_000_000.0, 80);
+        assert_eq!(ctl.phase(), CcPhase::Gradual);
+        let after = ctl.target_rate_bps();
+        assert!(after < before, "PI must back off: {before} -> {after}");
+    }
+
+    #[test]
+    fn pi_increases_rate_when_signal_is_below_reference() {
+        let mut ctl = NadaController::new(NadaConfig::default());
+        ctl.on_rtt_sample(SimDuration::from_millis(60));
+        feedback_at_rate(&mut ctl, 0, 1_000, 2_000_000.0, 0);
+        // A trickle of loss keeps the controller in gradual mode, but at
+        // a low rate the reference term dominates (x_offset < 0): the PI
+        // sign pushes the rate up, not down.
+        ctl.on_loss_report_protected(0.02, 0.0);
+        let before = ctl.target_rate_bps();
+        feedback_at_rate(&mut ctl, 1_000, 2_000, 2_000_000.0, 0);
+        assert_eq!(ctl.phase(), CcPhase::Gradual);
+        let after = ctl.target_rate_bps();
+        assert!(after > before, "PI must grow below reference: {before} -> {after}");
+    }
+
+    #[test]
+    fn heavy_loss_shows_in_signal_and_rate() {
+        let mut ctl = NadaController::new(NadaConfig::default());
+        ctl.on_rtt_sample(SimDuration::from_millis(60));
+        feedback_at_rate(&mut ctl, 0, 3_000, 6_000_000.0, 0);
+        let before = ctl.target_rate_bps();
+        for _ in 0..10 {
+            ctl.on_loss_report_protected(0.3, 0.0);
+        }
+        assert!(ctl.congestion_signal_ms() > 100.0);
+        feedback_at_rate(&mut ctl, 3_000, 1_000, 6_000_000.0, 0);
+        assert!(ctl.target_rate_bps() < before);
+        assert!((ctl.fraction_lost() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_floor_ceiling_and_cap() {
+        let cfg = NadaConfig::default();
+        let mut ctl = NadaController::new(cfg);
+        ctl.cap_estimate(10_000.0);
+        assert_eq!(ctl.target_rate_bps() as f64, cfg.min_rate_bps);
+        // Sustained clean traffic cannot push past the ceiling.
+        ctl.on_rtt_sample(SimDuration::from_millis(20));
+        for sec in 0..20 {
+            feedback_at_rate(&mut ctl, sec * 1_000, 1_000, 60_000_000.0, 0);
+        }
+        assert!(ctl.target_rate_bps() as f64 <= cfg.max_rate_bps);
+    }
+}

@@ -10,7 +10,6 @@
 use std::collections::BTreeMap;
 
 use converge_core::PacketClass;
-use converge_gcc::GccConfig;
 use converge_net::{
     event::EventQueue, Direction, LinkConfig, NetworkEmulator, Path, PathId, SimDuration, SimTime,
 };
@@ -103,7 +102,7 @@ impl DuplexSession {
                     &path_ids,
                     cfg.scheduler.build(frame_interval),
                     cfg.fec.build(),
-                    GccConfig::default(),
+                    cfg.controller,
                     cfg.max_encoding_rate_bps,
                 ),
                 receiver: ConferenceReceiver::new(cfg.streams, &path_ids, format.fps, path_ids[0]),

@@ -1,10 +1,11 @@
 //! # converge-sim
 //!
 //! End-to-end simulated conference calls for the Converge (SIGCOMM 2023)
-//! reproduction: a sender (encoders, per-path GCC, pluggable scheduler and
-//! FEC policy) and a receiver (packet/frame buffers, FEC recovery, NACK,
-//! PLI, QoE feedback) wired over the deterministic multipath emulator, plus
-//! the metrics the paper's evaluation reports.
+//! reproduction: a sender (encoders, pluggable per-path congestion control
+//! behind [`CongestionController`], pluggable scheduler and FEC policy) and
+//! a receiver (packet/frame buffers, FEC recovery, NACK, PLI, QoE feedback)
+//! wired over the deterministic multipath emulator, plus the metrics the
+//! paper's evaluation reports.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,6 +20,10 @@ pub mod sender;
 pub mod session;
 pub mod wire;
 
+pub use converge_cc::{
+    CongestionController, ControllerConfig, ControllerKind, MpBbrConfig, MpBbrController,
+    NadaConfig, NadaController,
+};
 pub use duplex::DuplexSession;
 pub use metrics::{CallReport, MetricsCollector, PathCounters, SecondBin};
 pub use pacer::{Pacer, PacerConfig};

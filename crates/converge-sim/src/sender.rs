@@ -3,8 +3,9 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use converge_cc::{CongestionController, ControllerConfig};
 use converge_core::{classify, FecPolicy, PacketClass, PathMetrics, Schedulable, Scheduler};
-use converge_gcc::{GccConfig, GccController, PacketTiming};
+use converge_gcc::PacketTiming;
 use converge_net::{PathId, SimDuration, SimTime};
 use converge_rtp::RtcpPacket;
 use converge_signal::{ConnectionMonitor, MonitorConfig, PathState};
@@ -46,7 +47,8 @@ pub struct OutboundPacket {
 #[derive(Debug, Default)]
 struct PathTxState {
     next_transport_seq: u64,
-    /// transport_seq → (send time, size) for GCC feedback matching.
+    /// transport_seq → (send time, size) for congestion-controller
+    /// feedback matching.
     sent: BTreeMap<u64, (SimTime, usize)>,
     /// Highest transport sequence acknowledged so far, for unwrapping the
     /// 16-bit sequence numbers feedback carries on the wire.
@@ -85,7 +87,10 @@ pub enum RateCoupling {
 /// The conference sender.
 pub struct ConferenceSender {
     streams: Vec<StreamPipeline>,
-    gcc: BTreeMap<PathId, GccController>,
+    /// One congestion controller per path (uncoupled by default), behind
+    /// the `CongestionController` trait so the sender is agnostic to the
+    /// algorithm (GCC / NADA / mp-BBR).
+    cc: BTreeMap<PathId, Box<dyn CongestionController>>,
     scheduler: Box<dyn Scheduler>,
     fec: Box<dyn FecPolicy>,
     tx: BTreeMap<PathId, PathTxState>,
@@ -119,7 +124,7 @@ impl ConferenceSender {
         paths: &[PathId],
         scheduler: Box<dyn Scheduler>,
         fec: Box<dyn FecPolicy>,
-        gcc_config: GccConfig,
+        controller: ControllerConfig,
         max_encoding_rate_bps: u64,
     ) -> Self {
         let streams = (0..n_streams)
@@ -132,14 +137,11 @@ impl ConferenceSender {
                 }
             })
             .collect();
-        let gcc = paths
-            .iter()
-            .map(|&p| (p, GccController::new(gcc_config)))
-            .collect();
+        let cc = paths.iter().map(|&p| (p, controller.build(p))).collect();
         let tx = paths.iter().map(|&p| (p, PathTxState::default())).collect();
         ConferenceSender {
             streams,
-            gcc,
+            cc,
             scheduler,
             fec,
             tx,
@@ -160,11 +162,12 @@ impl ConferenceSender {
     }
 
     /// Installs a trace handle on every sender-side component: scheduler,
-    /// FEC policy, per-path GCC controllers, and the connection monitor.
+    /// FEC policy, per-path congestion controllers, and the connection
+    /// monitor.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.scheduler.set_trace(trace.clone());
         self.fec.set_trace(trace.clone());
-        for (&path, ctl) in self.gcc.iter_mut() {
+        for (&path, ctl) in self.cc.iter_mut() {
             ctl.set_trace(trace.clone(), path);
         }
         self.monitor.set_trace(trace);
@@ -185,10 +188,11 @@ impl ConferenceSender {
         self.streams[0].encoder.config().format.fps
     }
 
-    /// Current per-path metrics snapshot from GCC; paths the connection
-    /// monitor has declared down are disabled at the transport level.
+    /// Current per-path metrics snapshot from the congestion controllers;
+    /// paths the connection monitor has declared down are disabled at the
+    /// transport level.
     pub fn path_metrics(&self) -> Vec<PathMetrics> {
-        self.gcc
+        self.cc
             .iter()
             .map(|(&id, ctl)| PathMetrics {
                 id,
@@ -212,20 +216,20 @@ impl ConferenceSender {
 
     /// Captures and sends one frame on stream `stream_idx` at `now`.
     pub fn on_frame_tick(&mut self, now: SimTime, stream_idx: usize) -> FrameTickResult {
-        // Disabled paths carry no media, so their GCC estimates decay: a
+        // Disabled paths carry no media, so their rate estimates decay: a
         // re-enabled path then re-enters with a conservative share and
         // ramps with real feedback instead of bursting at a stale rate.
         for path in self.scheduler.disabled_paths() {
-            if let Some(ctl) = self.gcc.get_mut(&path) {
+            if let Some(ctl) = self.cc.get_mut(&path) {
                 ctl.cap_estimate(500_000.0);
             }
         }
         // Coupled mode: dampen each controller's growth by its share of
         // the aggregate estimate, so the sum increases like a single flow.
         if self.coupling == RateCoupling::Lia {
-            let total: f64 = self.gcc.values().map(|c| c.delay_estimate_bps()).sum();
+            let total: f64 = self.cc.values().map(|c| c.delay_estimate_bps()).sum();
             if total > 0.0 {
-                for ctl in self.gcc.values_mut() {
+                for ctl in self.cc.values_mut() {
                     let share = ctl.delay_estimate_bps() / total;
                     ctl.set_increase_scale(share);
                 }
@@ -235,7 +239,7 @@ impl ConferenceSender {
         // its stale rate estimate so recovery starts conservatively.
         for ev in self.monitor.poll(now) {
             if ev.state == PathState::Down {
-                if let Some(ctl) = self.gcc.get_mut(&ev.path) {
+                if let Some(ctl) = self.cc.get_mut(&ev.path) {
                     ctl.cap_estimate(500_000.0);
                 }
             }
@@ -458,7 +462,7 @@ impl ConferenceSender {
             RtcpPacket::ReceiverReport(rr) => {
                 let path = PathId(rr.path_id);
                 let protection = self.fec_overhead_ewma;
-                if let Some(ctl) = self.gcc.get_mut(&path) {
+                if let Some(ctl) = self.cc.get_mut(&path) {
                     for blk in &rr.blocks {
                         ctl.on_loss_report_protected(blk.fraction_lost as f64 / 256.0, protection);
                         // RTT from last_sr/dlsr, both in simulation micros
@@ -496,7 +500,7 @@ impl ConferenceSender {
                         })
                         .collect()
                 };
-                if let Some(ctl) = self.gcc.get_mut(&path) {
+                if let Some(ctl) = self.cc.get_mut(&path) {
                     if !timings.is_empty() {
                         ctl.on_transport_feedback(now, &timings);
                     }
@@ -547,7 +551,7 @@ impl ConferenceSender {
         };
         let rtt = now.saturating_since(sent_at);
         self.monitor.on_activity(now, path);
-        if let Some(ctl) = self.gcc.get_mut(&path) {
+        if let Some(ctl) = self.cc.get_mut(&path) {
             ctl.on_rtt_sample(rtt);
         }
         // Fast path = lowest-srtt enabled path.
@@ -576,7 +580,7 @@ impl ConferenceSender {
     /// rate), one tuple per path.
     pub fn periodic_rtcp(&self, now: SimTime) -> Vec<(PathId, RtcpPacket)> {
         let mut out = Vec::new();
-        for &path in self.gcc.keys() {
+        for &path in self.cc.keys() {
             out.push((
                 path,
                 RtcpPacket::SenderReport(converge_rtp::SenderReport {
@@ -589,7 +593,7 @@ impl ConferenceSender {
                 }),
             ));
         }
-        if let Some((&first, _)) = self.gcc.iter().next() {
+        if let Some((&first, _)) = self.cc.iter().next() {
             out.push((
                 first,
                 RtcpPacket::Sdes(converge_rtp::Sdes {

@@ -4,8 +4,8 @@
 
 use std::collections::BTreeMap;
 
+use converge_cc::{ControllerConfig, ControllerKind};
 use converge_core::PacketClass;
-use converge_gcc::GccConfig;
 use converge_net::{
     event::EventQueue, Direction, ImpairmentConfig, NetworkEmulator, PathId, SimDuration, SimTime,
 };
@@ -43,6 +43,9 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Congestion-controller coupling (uncoupled = the paper's choice).
     pub coupled_cc: bool,
+    /// Per-path congestion-controller selection and tuning (GCC = the
+    /// paper's controller and the default).
+    pub controller: ControllerConfig,
     /// Structured-event sink; disabled by default (zero overhead).
     pub trace: TraceHandle,
 }
@@ -104,6 +107,7 @@ pub struct SessionConfigBuilder {
     transport_rtcp_interval: SimDuration,
     seed: u64,
     coupled_cc: bool,
+    controller: ControllerConfig,
     trace: TraceHandle,
     impairments: Vec<(u8, Direction, ImpairmentConfig)>,
 }
@@ -121,6 +125,7 @@ impl Default for SessionConfigBuilder {
             transport_rtcp_interval: SimDuration::from_millis(250),
             seed: 0,
             coupled_cc: false,
+            controller: ControllerConfig::default(),
             trace: TraceHandle::disabled(),
             impairments: Vec::new(),
         }
@@ -188,6 +193,20 @@ impl SessionConfigBuilder {
         self
     }
 
+    /// Selects the per-path congestion-control algorithm with its default
+    /// tuning (GCC is the default; NADA and mp-BBR are the alternatives).
+    pub fn controller(mut self, kind: ControllerKind) -> Self {
+        self.controller = ControllerConfig::for_kind(kind);
+        self
+    }
+
+    /// Supplies a fully tuned controller selection (kind + per-algorithm
+    /// config), for callers that need non-default knobs.
+    pub fn controller_config(mut self, controller: ControllerConfig) -> Self {
+        self.controller = controller;
+        self
+    }
+
     /// Installs a structured-event trace sink.
     pub fn trace(mut self, trace: TraceHandle) -> Self {
         self.trace = trace;
@@ -245,6 +264,7 @@ impl SessionConfigBuilder {
             transport_rtcp_interval: self.transport_rtcp_interval,
             seed: self.seed,
             coupled_cc: self.coupled_cc,
+            controller: self.controller,
             trace: self.trace,
         })
     }
@@ -334,7 +354,7 @@ impl Session {
             &path_ids,
             cfg.scheduler.build(frame_interval),
             cfg.fec.build(),
-            GccConfig::default(),
+            cfg.controller,
             cfg.max_encoding_rate_bps,
         );
         if cfg.coupled_cc {
@@ -655,7 +675,50 @@ mod tests {
         );
         assert_eq!(built.seed, legacy.seed);
         assert_eq!(built.coupled_cc, legacy.coupled_cc);
+        assert_eq!(built.controller.kind, legacy.controller.kind);
+        assert_eq!(built.controller.kind, ControllerKind::Gcc);
         assert!(!built.trace.is_enabled());
+    }
+
+    #[test]
+    fn alternative_controllers_drive_full_sessions_cleanly() {
+        for kind in [ControllerKind::Nada, ControllerKind::MpBbr] {
+            let cfg = SessionConfig::builder()
+                .scenario(ScenarioConfig::fec_tradeoff(2.0))
+                .duration(SimDuration::from_secs(15))
+                .seed(7)
+                .controller(kind)
+                .build()
+                .expect("valid");
+            let (report, violations) = Session::new(cfg).run_checked();
+            assert!(violations.is_empty(), "{kind:?}: {violations:?}");
+            assert!(
+                report.frames_decoded > 200,
+                "{kind:?} decoded only {} frames",
+                report.frames_decoded
+            );
+            assert!(report.throughput_bps > 500_000.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn controller_selection_changes_the_run() {
+        let run = |kind| {
+            Session::new(
+                SessionConfig::builder()
+                    .scenario(ScenarioConfig::fec_tradeoff(2.0))
+                    .duration(SimDuration::from_secs(15))
+                    .seed(7)
+                    .controller(kind)
+                    .build()
+                    .expect("valid"),
+            )
+            .run()
+        };
+        let gcc = run(ControllerKind::Gcc);
+        let nada = run(ControllerKind::Nada);
+        // Different rate-control dynamics must leave a visible footprint.
+        assert_ne!(gcc.throughput_bps, nada.throughput_bps);
     }
 
     #[test]

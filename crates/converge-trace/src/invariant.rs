@@ -22,9 +22,9 @@
 //!    max(FCD, 5 ms)` actually held when the scheduler re-enabled.
 //! 4. **FEC bounds** — `FecUpdated` must satisfy `repair ≤ media`
 //!    (`FEC_i ≤ P_i`) and `1 ≤ β ≤ β_max` (§4.3 caps β at 3).
-//! 5. **GCC rate clamps** — `GccRateChanged` stays within the configured
-//!    floor/ceiling (the AIMD and loss-based controllers both clamp to
-//!    `[50 kbps, 30 Mbps]` by default).
+//! 5. **Rate clamps** — `GccRateChanged` and the controller-agnostic
+//!    `CcRateChanged` stay within the configured floor/ceiling (every
+//!    pluggable controller clamps to `[50 kbps, 30 Mbps]` by default).
 //!
 //! To add an invariant: extend [`State`] with whatever bookkeeping the
 //! rule needs, add the check in [`check_record`], and give the rule a
@@ -243,6 +243,22 @@ fn check_record(record: &TraceRecord, config: &InvariantConfig, state: &mut Stat
                 ),
             });
         }
+        TraceEvent::CcRateChanged {
+            path,
+            algorithm,
+            rate_bps,
+        } if rate_bps < config.rate_floor_bps || rate_bps > config.rate_ceiling_bps => {
+            state.violations.push(Violation {
+                at,
+                rule: "cc-rate-clamp",
+                detail: format!(
+                    "{path} ({}): rate {rate_bps} bps outside [{}, {}]",
+                    algorithm.label(),
+                    config.rate_floor_bps,
+                    config.rate_ceiling_bps
+                ),
+            });
+        }
         _ => {}
     }
 }
@@ -439,6 +455,40 @@ mod tests {
             },
         ));
         assert_eq!(sink.violations().len(), 2);
+    }
+
+    #[test]
+    fn cc_rate_clamp_enforced_for_all_algorithms() {
+        use crate::CcAlgorithm;
+        let sink = InvariantSink::new();
+        sink.record(rec(
+            1,
+            TraceEvent::CcRateChanged {
+                path: PathId(0),
+                algorithm: CcAlgorithm::Nada,
+                rate_bps: 49_999,
+            },
+        ));
+        sink.record(rec(
+            2,
+            TraceEvent::CcRateChanged {
+                path: PathId(1),
+                algorithm: CcAlgorithm::MpBbr,
+                rate_bps: 30_000_001,
+            },
+        ));
+        sink.record(rec(
+            3,
+            TraceEvent::CcRateChanged {
+                path: PathId(0),
+                algorithm: CcAlgorithm::Nada,
+                rate_bps: 150_000,
+            },
+        ));
+        let v = sink.violations();
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == "cc-rate-clamp"));
+        assert!(v[0].detail.contains("nada"), "{}", v[0].detail);
     }
 
     #[test]

@@ -77,6 +77,26 @@ pub fn record_line(record: &TraceRecord) -> String {
         TraceEvent::GccRateChanged { path, rate_bps } => {
             format!("\"path\":{},\"rate_bps\":{}", path.0, rate_bps)
         }
+        TraceEvent::CcStateChanged {
+            path,
+            algorithm,
+            phase,
+        } => format!(
+            "\"path\":{},\"algorithm\":\"{}\",\"phase\":\"{}\"",
+            path.0,
+            algorithm.label(),
+            phase.label()
+        ),
+        TraceEvent::CcRateChanged {
+            path,
+            algorithm,
+            rate_bps,
+        } => format!(
+            "\"path\":{},\"algorithm\":\"{}\",\"rate_bps\":{}",
+            path.0,
+            algorithm.label(),
+            rate_bps
+        ),
         TraceEvent::MonitorEdge { path, state } => {
             format!("\"path\":{},\"state\":\"{}\"", path.0, state.label())
         }
@@ -202,6 +222,16 @@ mod tests {
             TraceEvent::GccRateChanged {
                 path: PathId(0),
                 rate_bps: 2_000_000,
+            },
+            TraceEvent::CcStateChanged {
+                path: PathId(0),
+                algorithm: crate::CcAlgorithm::Nada,
+                phase: crate::CcPhase::RampUp,
+            },
+            TraceEvent::CcRateChanged {
+                path: PathId(1),
+                algorithm: crate::CcAlgorithm::MpBbr,
+                rate_bps: 3_000_000,
             },
             TraceEvent::MonitorEdge {
                 path: PathId(1),

@@ -51,6 +51,63 @@ impl GccUsage {
     }
 }
 
+/// Which congestion-control algorithm a controller-agnostic event came
+/// from. GCC keeps its legacy `Gcc*` events for byte-stable timelines;
+/// the pluggable controllers emit `Cc*` events tagged with this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcAlgorithm {
+    /// Google Congestion Control (delay trendline + loss, AIMD).
+    Gcc,
+    /// NADA (RFC 8698): unified congestion signal + PI controller.
+    Nada,
+    /// Multipath-tuned BBR: bandwidth/RTT probing with pacing-gain cycling.
+    MpBbr,
+}
+
+impl CcAlgorithm {
+    /// Canonical lowercase label used in the JSONL encoding.
+    pub fn label(self) -> &'static str {
+        match self {
+            CcAlgorithm::Gcc => "gcc",
+            CcAlgorithm::Nada => "nada",
+            CcAlgorithm::MpBbr => "mp-bbr",
+        }
+    }
+}
+
+/// Operating phase of a pluggable congestion controller. NADA alternates
+/// between `RampUp` and `Gradual` (RFC 8698 §4.2); BBR walks
+/// `Startup → Drain → ProbeBw` with periodic `ProbeRtt` dips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcPhase {
+    /// NADA accelerated ramp-up (loss-free, empty queue).
+    RampUp,
+    /// NADA gradual PI update.
+    Gradual,
+    /// BBR startup: exponential bandwidth search.
+    Startup,
+    /// BBR drain: bleed the startup queue.
+    Drain,
+    /// BBR steady-state bandwidth probing.
+    ProbeBw,
+    /// BBR RTT re-probe: back off to re-measure the propagation floor.
+    ProbeRtt,
+}
+
+impl CcPhase {
+    /// Canonical lowercase label used in the JSONL encoding.
+    pub fn label(self) -> &'static str {
+        match self {
+            CcPhase::RampUp => "ramp_up",
+            CcPhase::Gradual => "gradual",
+            CcPhase::Startup => "startup",
+            CcPhase::Drain => "drain",
+            CcPhase::ProbeBw => "probe_bw",
+            CcPhase::ProbeRtt => "probe_rtt",
+        }
+    }
+}
+
 /// Connection-monitor link state, mirroring `converge-signal`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkState {
@@ -146,6 +203,27 @@ pub enum TraceEvent {
         /// New target rate, bits per second.
         rate_bps: u64,
     },
+    /// A pluggable congestion controller changed phase on a path
+    /// (controller-agnostic counterpart of [`TraceEvent::GccStateChanged`]).
+    CcStateChanged {
+        /// Path whose controller changed phase.
+        path: PathId,
+        /// Which algorithm is driving the path.
+        algorithm: CcAlgorithm,
+        /// The phase it entered.
+        phase: CcPhase,
+    },
+    /// A pluggable congestion controller's target rate for a path changed
+    /// (controller-agnostic counterpart of [`TraceEvent::GccRateChanged`];
+    /// subject to the same rate-clamp invariant).
+    CcRateChanged {
+        /// Path whose target moved.
+        path: PathId,
+        /// Which algorithm is driving the path.
+        algorithm: CcAlgorithm,
+        /// New target rate, bits per second.
+        rate_bps: u64,
+    },
     /// The connection monitor moved a path between up/suspect/down.
     MonitorEdge {
         /// Path whose liveness state changed.
@@ -205,6 +283,8 @@ impl TraceEvent {
             TraceEvent::FecUpdated { .. } => "fec_updated",
             TraceEvent::GccStateChanged { .. } => "gcc_state_changed",
             TraceEvent::GccRateChanged { .. } => "gcc_rate_changed",
+            TraceEvent::CcStateChanged { .. } => "cc_state_changed",
+            TraceEvent::CcRateChanged { .. } => "cc_rate_changed",
             TraceEvent::MonitorEdge { .. } => "monitor_edge",
             TraceEvent::FeedbackEmitted { .. } => "feedback_emitted",
             TraceEvent::NackSent { .. } => "nack_sent",

@@ -1,0 +1,63 @@
+//! Controller shootout: run the same emulated call once per congestion
+//! controller (GCC, NADA, mp-BBR) — or a single one — and compare the
+//! QoE that comes out of the full scheduler/FEC loop.
+//!
+//! ```text
+//! cargo run --release -p converge-sim --example controller_shootout
+//! cargo run --release -p converge-sim --example controller_shootout -- --controller nada
+//! ```
+
+use converge_net::SimDuration;
+use converge_sim::{
+    ControllerKind, FecKind, ScenarioConfig, SchedulerKind, Session, SessionConfig,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut kinds: Vec<ControllerKind> = ControllerKind::ALL.to_vec();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--controller" => {
+                let value = args.next().unwrap_or_default();
+                match ControllerKind::parse(&value) {
+                    Some(kind) => kinds = vec![kind],
+                    None => {
+                        eprintln!("unknown controller {value:?}; use gcc, nada, or mp-bbr");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: controller_shootout [--controller <gcc|nada|mp-bbr>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let duration = SimDuration::from_secs(60);
+    println!("60 s driving-scenario call, one run per controller:\n");
+    println!(
+        "{:<8} {:>10} {:>8} {:>11} {:>10}",
+        "ctrl", "tput Mbps", "fps", "freeze ms", "e2e ms"
+    );
+    for kind in kinds {
+        let config = SessionConfig::builder()
+            .scenario(ScenarioConfig::driving(duration, 42))
+            .scheduler(SchedulerKind::Converge)
+            .fec(FecKind::Converge)
+            .duration(duration)
+            .seed(42)
+            .controller(kind)
+            .build()
+            .expect("valid session config");
+        let report = Session::new(config).run();
+        println!(
+            "{:<8} {:>10.2} {:>8.1} {:>11.0} {:>10.1}",
+            kind.label(),
+            report.throughput_bps / 1e6,
+            report.fps_per_stream(),
+            report.freeze_total_ms,
+            report.e2e_mean_ms
+        );
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for the subset of the `bytes` crate — `Bytes`,
+//! `BytesMut`, `Buf`, and `BufMut` this workspace uses, with the same
+//! semantics (network byte order, cheap clones, panics on short reads).
+//! `Bytes` is an `Arc<[u8]>` plus a `[start, end)` window, so `clone`,
+//! `slice`, and `split_to` are O(1) and share storage.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte view.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// A view over a static slice.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// O(1) sub-view sharing the same storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the view into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        let end = data.len();
+        Bytes {
+            data: data.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(data: &'static [u8]) -> Bytes {
+        Bytes::from_static(data)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(buf: BytesMut) -> Bytes {
+        buf.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty buffer with `capacity` reserved.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// A buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> BytesMut {
+        BytesMut { buf: vec![0; len] }
+    }
+
+    /// Length of the buffer.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reserves additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let rest = self.buf.split_off(at);
+        let head = std::mem::replace(&mut self.buf, rest);
+        BytesMut { buf: head }
+    }
+
+    /// Freezes into an immutable `Bytes`.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> BytesMut {
+        BytesMut { buf }
+    }
+}
+
+/// Read access to a byte cursor: network (big-endian) byte order, panics
+/// on short reads, exactly like the real crate's `Buf`.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies `dst.len()` bytes out, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `i32`.
+    fn get_i32(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian unsigned integer of `nbytes` bytes.
+    fn get_uint(&mut self, nbytes: usize) -> u64 {
+        assert!(nbytes <= 8, "get_uint: at most 8 bytes");
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b[8 - nbytes..]);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        self.start += cnt;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.buf
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        self.buf.drain(..cnt);
+    }
+}
+
+/// Write access to a growable buffer: network (big-endian) byte order.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Writes a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes the low `nbytes` bytes of `v`, big-endian.
+    fn put_uint(&mut self, v: u64, nbytes: usize) {
+        assert!(nbytes <= 8, "put_uint: at most 8 bytes");
+        self.put_slice(&v.to_be_bytes()[8 - nbytes..]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_network_order() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16(0x0102);
+        buf.put_u32(0xdead_beef);
+        buf.put_u64(42);
+        buf.put_i32(-5);
+        buf.put_uint(0x0a0b0c, 3);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u16(), 0x0102);
+        assert_eq!(bytes.get_u32(), 0xdead_beef);
+        assert_eq!(bytes.get_u64(), 42);
+        assert_eq!(bytes.get_i32(), -5);
+        assert_eq!(bytes.get_uint(3), 0x0a0b0c);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn slices_share_storage() {
+        let bytes = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let mid = bytes.slice(1..4);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let mut tail = bytes.clone();
+        let head = tail.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&tail[..], &[3, 4, 5]);
+        assert_eq!(bytes.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn short_read_panics() {
+        let mut short: &[u8] = &[1];
+        let _ = short.get_u32();
+    }
+}

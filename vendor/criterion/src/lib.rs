@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion`: the macro and builder surface the
+//! workspace benches use, backed by a small wall-clock harness. Each
+//! bench warms up, runs timed batches until a fixed measurement budget
+//! elapses, and prints a mean time per iteration. `--quick` shrinks the
+//! budget so CI smoke runs stay cheap; a substring argument filters
+//! bench IDs just like the real harness.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for callers that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// A named benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (joins onto the group name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as bench IDs.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to bench closures; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    budget: Duration,
+    out: &'a mut Vec<String>,
+    id: String,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over enough iterations to fill the harness
+    /// budget and records the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until a sliver of the budget elapses.
+        let warmup_until = Instant::now() + self.budget / 10;
+        while Instant::now() < warmup_until {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        let mut iters: u64 = 0;
+        while started.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        let mean_ns = started.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+        self.out
+            .push(format!("{:<48} time: {:>14.1} ns/iter", self.id, mean_ns));
+    }
+}
+
+/// The harness entry point: filtering plus the measurement budget.
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            filter: None,
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies harness CLI arguments: `--quick` shrinks the budget, a
+    /// bare argument filters bench IDs by substring, and the flags cargo
+    /// itself passes (`--bench`) are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => self.budget = Duration::from_millis(30),
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        if !self.selected(&id) {
+            return;
+        }
+        let mut out = Vec::new();
+        let mut bencher = Bencher {
+            budget: self.budget,
+            out: &mut out,
+            id,
+        };
+        f(&mut bencher);
+        for line in out {
+            println!("{line}");
+        }
+    }
+
+    /// Runs one benchmark under `id`.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        self.run_one(id.into_benchmark_id(), f);
+    }
+
+    /// Opens a named group; bench IDs are `group/bench`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Prints the closing summary (a no-op in the stand-in harness).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benches sharing a name prefix and budget tweaks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in harness is
+    /// budget-driven rather than sample-count-driven.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(id, f);
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring the real macro's simple
+/// `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            budget: Duration::from_millis(5),
+        };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0, "bencher must execute the routine");
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10).measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            budget: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline stand-in for the `crossbeam` API surface this workspace uses:
+//! the work-stealing `deque` module and `thread::scope`. Semantics match
+//! upstream (FIFO worker deques, `Steal` retry stickiness, scoped join on
+//! exit); the implementation trades the lock-free internals for simple
+//! mutex-protected deques, which is plenty for a handful of sweep workers.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Whether the source was empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// Whether the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// Whether a task was stolen.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+
+        /// Returns this steal if it succeeded, otherwise evaluates `f`;
+        /// `Retry` is sticky over a later `Empty`, as upstream.
+        pub fn or_else<F>(self, f: F) -> Steal<T>
+        where
+            F: FnOnce() -> Steal<T>,
+        {
+            match self {
+                Steal::Empty => f(),
+                Steal::Success(task) => Steal::Success(task),
+                Steal::Retry => match f() {
+                    Steal::Empty => Steal::Retry,
+                    other => other,
+                },
+            }
+        }
+    }
+
+    impl<T> FromIterator<Steal<T>> for Steal<T> {
+        /// The first success wins and short-circuits; otherwise `Retry`
+        /// if any attempt asked for one, else `Empty`.
+        fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+            let mut retry = false;
+            for steal in iter {
+                match steal {
+                    Steal::Success(task) => return Steal::Success(task),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if retry {
+                Steal::Retry
+            } else {
+                Steal::Empty
+            }
+        }
+    }
+
+    /// Global FIFO task injector.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Pops one task directly.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector lock").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch into `dest`'s local queue and pops one task for
+        /// the caller, like upstream's `steal_batch_and_pop`.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().expect("injector lock");
+            let first = match queue.pop_front() {
+                Some(task) => task,
+                None => return Steal::Empty,
+            };
+            let batch = (queue.len() / 2).min(16);
+            let mut local = dest.queue.lock().expect("worker lock");
+            for _ in 0..batch {
+                match queue.pop_front() {
+                    Some(task) => local.push_back(task),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the global queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector lock").is_empty()
+        }
+    }
+
+    /// A worker's local FIFO queue.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker queue.
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes onto the local queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker lock").push_back(task);
+        }
+
+        /// Pops from the local queue (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker lock").pop_front()
+        }
+
+        /// Whether the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker lock").is_empty()
+        }
+
+        /// A handle other workers can steal from.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A steal handle onto another worker's queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the owning worker's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("stealer lock").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
+/// Scoped threads, wrapping `std::thread::scope` behind crossbeam's
+/// `Result`-returning signature.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// What `scope` returns: `Err` carries a child thread's panic payload,
+    /// which is what callers `.expect()` on.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope in which borrowing threads can be spawned.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A join handle for a scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope; the closure receives the
+        /// scope again so it can spawn siblings, as upstream.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed; all
+    /// spawned threads are joined before this returns. A panic in an
+    /// unjoined child surfaces as `Err`, like upstream.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn injector_batch_and_steal_order() {
+        let injector: Injector<u32> = Injector::new();
+        for i in 0..10 {
+            injector.push(i);
+        }
+        let local = Worker::new_fifo();
+        assert_eq!(injector.steal_batch_and_pop(&local), Steal::Success(0));
+        let mut drained = Vec::new();
+        while let Some(v) = local.pop() {
+            drained.push(v);
+        }
+        assert!(!drained.is_empty());
+        assert!(drained.windows(2).all(|w| w[0] < w[1]), "FIFO order");
+    }
+
+    #[test]
+    fn steal_collect_prefers_success() {
+        let steals = vec![Steal::Empty, Steal::Retry, Steal::Success(7u8)];
+        let collected: Steal<u8> = steals.into_iter().collect();
+        assert_eq!(collected, Steal::Success(7));
+        let collected: Steal<u8> = vec![Steal::Empty, Steal::Retry].into_iter().collect();
+        assert!(collected.is_retry());
+    }
+
+    #[test]
+    fn scope_joins_and_propagates() {
+        let mut data = vec![0u64; 4];
+        let result = super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, slot) in data.iter_mut().enumerate() {
+                handles.push(s.spawn(move |_| *slot = i as u64 + 1));
+            }
+            for h in handles {
+                h.join().expect("worker");
+            }
+            42
+        });
+        assert_eq!(result.expect("scope"), 42);
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline stand-in for the `rand` 0.8 API surface this workspace uses.
+//!
+//! The container this repo builds in has no crates.io access, so the
+//! workspace `[patch.crates-io]` section substitutes this crate. It is
+//! **bit-exact** with rand 0.8.5 for every API the simulator calls:
+//! `SmallRng` is xoshiro256++ with the SplitMix64 `seed_from_u64`,
+//! `gen_bool` is the fixed-point Bernoulli, integer `gen_range` is
+//! Lemire-style widening-multiply rejection, and float `gen_range` is the
+//! [1, 2) mantissa-fill method. Bit-exactness matters: every seeded
+//! fixture in the repo (golden traces, loss sequences) was produced from
+//! exact streams the real crate produced. The xoshiro reference vector
+//! from the upstream test suite is pinned in this crate's tests.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generator trait: the subset of `rand_core::RngCore` the
+/// workspace uses, with identical stream consumption per call.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Seedable RNG constructors (mirrors `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+    /// Constructs from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// Constructs from a `u64` seed (algorithm chosen by the generator;
+    /// xoshiro uses SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Samples a value via the `Standard` distribution (`u64`, `f64`,
+/// `u32`, `bool` supported).
+pub trait StandardSample: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl StandardSample for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for i32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl StandardSample for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardSample for f64 {
+    /// 53-bit multiply method of rand 0.8: `(next_u64 >> 11)
+    /// * 2^-53`, uniform on [0, 1).
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    /// rand 0.8 compares the most significant bit of a `u32`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Widening multiply: the full 2N-bit product split into (high, low).
+trait WideningMul: Sized {
+    fn widening(self, other: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    fn widening(self, other: u32) -> (u32, u32) {
+        let prod = self as u64 * other as u64;
+        ((prod >> 32) as u32, prod as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    fn widening(self, other: u64) -> (u64, u64) {
+        let prod = self as u128 * other as u128;
+        ((prod >> 64) as u64, prod as u64)
+    }
+}
+
+impl WideningMul for usize {
+    fn widening(self, other: usize) -> (usize, usize) {
+        let (hi, lo) = (self as u64).widening(other as u64);
+        (hi as usize, lo as usize)
+    }
+}
+
+/// Types uniform ranges can be sampled for.
+pub trait SampleUniform: Sized {
+    /// One sample from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// One sample from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $uty:ty, $ularge:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "gen_range: empty range");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(low <= high, "gen_range: empty range");
+                let range = (high as $uty).wrapping_sub(low as $uty).wrapping_add(1) as $ularge;
+                // Full integer range: every draw is in range.
+                if range == 0 {
+                    return <$ty as StandardSample>::sample_standard(rng);
+                }
+                let zone = if (<$uty>::MAX as u64) <= (u16::MAX as u64) {
+                    // Small types widen to u32: mirror rand 0.8's
+                    // `ints_to_reject` zone computation.
+                    let unsigned_max: $ularge = <$ularge>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = <$ularge as StandardSample>::sample_standard(rng);
+                    let (hi, lo) = v.widening(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl! { u8, u8, u32 }
+uniform_int_impl! { u16, u16, u32 }
+uniform_int_impl! { u32, u32, u32 }
+uniform_int_impl! { u64, u64, u64 }
+uniform_int_impl! { usize, usize, usize }
+uniform_int_impl! { i32, u32, u32 }
+uniform_int_impl! { i64, u64, u64 }
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exp_bias:expr, $mant_bits:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(
+                    low.is_finite() && high.is_finite(),
+                    "gen_range: low and high must be finite"
+                );
+                assert!(low < high, "gen_range: empty range");
+                let scale = high - low;
+                loop {
+                    // A value in [1, 2): random mantissa under a fixed
+                    // exponent, exactly rand 0.8's
+                    // `into_float_with_exponent(0)`.
+                    let fraction =
+                        <$uty as StandardSample>::sample_standard(rng) >> $bits_to_discard;
+                    let value1_2 =
+                        <$ty>::from_bits(fraction | (($exp_bias as $uty) << $mant_bits));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            // Inclusive float ranges are unused by the workspace; the
+            // half-open sampler is stream-compatible for all callers.
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                Self::sample_single(low, high, rng)
+            }
+        }
+    };
+}
+
+uniform_float_impl! { f64, u64, 12, 1023u64, 52 }
+uniform_float_impl! { f32, u32, 9, 127u32, 23 }
+
+/// Range argument forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+/// Random number generator trait: the subset of `rand::Rng` the
+/// workspace uses, with identical stream consumption per call. Extension
+/// methods over [`RngCore`], mirroring rand 0.8's blanket impl.
+pub trait Rng: RngCore {
+    /// Draws one sample from the `Standard` distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws one sample from the range.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`, via rand 0.8's
+    /// fixed-point comparison: `p` maps to `(p * 2^64) as u64` and one
+    /// `u64` draw decides. Always consumes one `u64`, exactly like
+    /// rand 0.8's `Bernoulli`, except for `p == 1.0` which short-circuits
+    /// without a draw (the `ALWAYS_TRUE` case upstream).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        if p == 1.0 {
+            return true;
+        }
+        let scale = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * scale) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Fills a byte slice (delegates to [`RngCore::fill_bytes`]).
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, rand 0.8's 64-bit `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        /// High 32 bits of the next 64, the xoshiro-specific override in
+        /// rand 0.8, not the generic one from `rand_core`.
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let res = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            res
+        }
+
+        /// `rand_core::impls::fill_bytes_via_next`: whole little-endian
+        /// `u64` words, then one trailing `u64` (> 4 bytes left) or `u32`
+        /// (<= 4 bytes left), preserved for stream compatibility.
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut left = dest;
+            while left.len() >= 8 {
+                let (chunk, rest) = left.split_at_mut(8);
+                left = rest;
+                chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+            }
+            let n = left.len();
+            if n > 4 {
+                left.copy_from_slice(&self.next_u64().to_le_bytes()[..n]);
+            } else if n > 0 {
+                left.copy_from_slice(&self.next_u32().to_le_bytes()[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> SmallRng {
+            if seed.iter().all(|&b| b == 0) {
+                return SmallRng::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            SmallRng { s }
+        }
+
+        /// SplitMix64 expansion of the seed into the four state words,
+        /// exactly as rand 0.8's xoshiro `seed_from_u64`.
+        fn seed_from_u64(mut state: u64) -> SmallRng {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                *word = z;
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// The xoshiro256++ reference vector from the upstream rand 0.8.5
+    /// test suite (state words 1, 2, 3, 4), produced with the reference
+    /// C implementation at <http://xoshiro.di.unimi.it>.
+    #[test]
+    fn xoshiro_reference_vector() {
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        seed[8] = 2;
+        seed[16] = 3;
+        seed[24] = 4;
+        let mut rng = SmallRng::from_seed(seed);
+        let expected: [u64; 10] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+            15849039046786891736,
+            10450023813501588000,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_splitmix() {
+        // SplitMix64(0) first output, from the reference implementation.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let first = rng.next_u64();
+        let mut again = SmallRng::seed_from_u64(0);
+        assert_eq!(first, again.next_u64());
+        assert_ne!(
+            SmallRng::seed_from_u64(1).next_u64(),
+            SmallRng::seed_from_u64(2).next_u64()
+        );
+    }
+
+    #[test]
+    fn gen_bool_consumes_one_u64() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        let _ = a.gen_bool(0.25);
+        let _ = b.next_u64();
+        assert_eq!(a, b);
+        // p == 1.0 short-circuits without a draw.
+        let mut c = SmallRng::seed_from_u64(9);
+        assert!(c.gen_bool(1.0));
+        let mut d = SmallRng::seed_from_u64(9);
+        assert_eq!(c.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&w));
+            let x = rng.gen_range(0usize..=5);
+            assert!(x <= 5);
+        }
+    }
+}

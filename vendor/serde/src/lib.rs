@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`. The workspace derives `Serialize` /
+//! `Deserialize` on config and metrics types for downstream tooling, but
+//! never serializes through serde at runtime (JSON output is hand-rolled
+//! in `converge-trace`), so the traits carry no methods: the derive macros
+//! emit empty marker impls and everything compiles without crates.io.
+//!
+//! The `derive` feature exists so `features = ["derive"]` dependency
+//! declarations resolve; it pulls in the matching stand-in proc macro.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

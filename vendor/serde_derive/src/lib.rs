@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde_derive`: the derive macros emit empty
+//! marker impls of the stand-in `serde` traits. No `syn`/`quote` — the
+//! type name is read straight off the token stream, which is enough for
+//! the workspace's derives (plain structs and enums without generics).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The identifier following the first `struct` or `enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "offline serde_derive stand-in: generic types unsupported"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("offline serde_derive stand-in: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("offline serde_derive stand-in: no struct or enum in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("well-formed impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("well-formed impl")
+}
