@@ -53,6 +53,17 @@ test -s results/smoke_shootout.txt
 grep -q 'mp-BBR' results/smoke_shootout.txt
 grep -q 'NADA' results/smoke_shootout.txt
 
+# Drive-replay gate: the committed 4/6/8-path drive fixtures through
+# scheduler x controller (1 seed at quick scale) with the invariant
+# checker armed — proves the time-varying drive links hold the
+# control-loop invariants across every topology width.
+cargo run --release -p converge-bench --bin experiments -- \
+    drive --quick --jobs 2 --check-invariants > results/smoke_drive.txt
+test -s results/smoke_drive.txt
+grep -q 'blackout-flap' results/smoke_drive.txt
+grep -q 'coverage-gaps' results/smoke_drive.txt
+grep -q 'handover' results/smoke_drive.txt
+
 # Perf trajectory: re-run fig11 with bench accounting and compare the
 # sim-s/wall-s throughput against the committed baseline. The threshold
 # is deliberately generous (>= 1/4 of baseline) — it catches order-of-

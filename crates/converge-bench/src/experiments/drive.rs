@@ -1,0 +1,238 @@
+//! Drive replay — the committed multi-path drive fixtures
+//! ([`DriveFixture`]) replayed through the full stack: every fixture ×
+//! scheduler × congestion controller × seed. The fold reports QoE plus
+//! the per-path byte split, which is where the 4–8 path topologies show
+//! their character (a scheduler that keeps load on a path through its
+//! coverage gap shows up directly in the utilization column).
+
+use converge_sim::{ControllerKind, DriveFixture, FecKind, SchedulerKind};
+
+use crate::runner::{metric, pm, Cell, Job, Scale, ScenarioSpec};
+use crate::sweep::{ExperimentSpec, Reports};
+
+/// The scheduler axis: Converge vs the two strongest multipath baselines.
+const SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Converge,
+    SchedulerKind::Srtt,
+    SchedulerKind::MTput,
+];
+
+fn drive_cell(fixture: DriveFixture, scheduler: SchedulerKind, controller: ControllerKind) -> Cell {
+    Cell::new(
+        ScenarioSpec::Drive { fixture },
+        scheduler,
+        FecKind::Converge,
+        1,
+    )
+    .with_controller(controller)
+}
+
+/// Quick scale is the CI smoke cell: one seed keeps the 27-cell matrix
+/// cheap; full scale averages over every seed.
+fn seeds(scale: Scale) -> &'static [u64] {
+    match scale {
+        Scale::Quick => &scale.seeds()[..1],
+        Scale::Full => scale.seeds(),
+    }
+}
+
+/// The fixtures are 60 s captures: full scale replays them end to end,
+/// quick scale stops at the generic smoke duration (30 s, which still
+/// crosses the first coverage gap, the handover midpoint, and the
+/// blackout window of every fixture).
+fn duration(scale: Scale) -> converge_net::SimDuration {
+    match scale {
+        Scale::Full => converge_net::SimDuration::from_secs(60),
+        Scale::Quick => Scale::Quick.duration(),
+    }
+}
+
+/// Formats each path's share of total sent bytes as `p0/p1/…` percents.
+fn utilization_split(reports: &[converge_sim::CallReport]) -> String {
+    let paths = reports
+        .iter()
+        .map(|r| r.paths.len())
+        .max()
+        .unwrap_or_default();
+    let mut shares = vec![0.0f64; paths];
+    for report in reports {
+        let total: u64 = report.paths.values().map(|p| p.bytes_sent).sum();
+        if total == 0 {
+            continue;
+        }
+        for (i, counters) in report.paths.values().enumerate() {
+            shares[i] += counters.bytes_sent as f64 / total as f64 / reports.len() as f64;
+        }
+    }
+    shares
+        .iter()
+        .map(|s| format!("{:.0}", s * 100.0))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Declares the replay matrix: fixture × scheduler × controller × seed.
+pub fn spec(scale: Scale) -> ExperimentSpec {
+    let mut jobs = Vec::new();
+    for fixture in DriveFixture::ALL {
+        for scheduler in SCHEDULERS {
+            for controller in ControllerKind::ALL {
+                for &seed in seeds(scale) {
+                    jobs.push(Job::new(
+                        drive_cell(fixture, scheduler, controller),
+                        duration(scale),
+                        seed,
+                    ));
+                }
+            }
+        }
+    }
+    ExperimentSpec {
+        jobs,
+        fold: Box::new(move |reports| {
+            let mut r = Reports::new(reports);
+            let mut out = String::new();
+            out.push_str("# Drive replay — committed 4-8 path drive fixtures through\n");
+            out.push_str("# scheduler x controller; util = per-path share of sent bytes\n");
+            out.push_str(&format!(
+                "{:<14} {:<8} {:<6} {:>10} {:>9} {:>9} {:>8}  {}\n",
+                "#fixture", "sched", "ctrl", "norm_tput", "norm_fps", "stall_ms", "e2e_ms", "util_pct"
+            ));
+            for fixture in DriveFixture::ALL {
+                for scheduler in SCHEDULERS {
+                    for controller in ControllerKind::ALL {
+                        let reports = r.take(seeds(scale).len());
+                        out.push_str(&format!(
+                            "{:<14} {:<8} {:<6} {:>10} {:>9} {:>9} {:>8}  {}\n",
+                            fixture.id(),
+                            scheduler.label(),
+                            controller.label(),
+                            pm(&metric(reports, |r| r.normalized_throughput()), 2),
+                            pm(&metric(reports, |r| r.normalized_fps()), 2),
+                            pm(&metric(reports, |r| r.avg_freeze_ms()), 0),
+                            pm(&metric(reports, |r| r.e2e_mean_ms), 0),
+                            utilization_split(reports),
+                        ));
+                    }
+                }
+                out.push('\n');
+            }
+            out.push_str("# expected shape: Converge routes around the coverage gaps and\n");
+            out.push_str("# the blackout (util shifts off the dark path), SRTT chases the\n");
+            out.push_str("# low-OWD path, M-TPUT splits by rate and keeps satellite loaded.\n");
+            out
+        }),
+    }
+}
+
+/// Runs the drive replay through the process-wide cache.
+pub fn run(scale: Scale) -> String {
+    crate::sweep::render(spec(scale), crate::sweep::CellCache::global())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use converge_net::SimDuration;
+
+    /// The controller-shootout-over-a-drive satellite: every controller
+    /// replays a fixture through the full loop with a clean invariant
+    /// checker and actually decodes video on the far side.
+    #[test]
+    fn every_controller_replays_a_drive_clean() {
+        for controller in ControllerKind::ALL {
+            let job = Job::new(
+                drive_cell(DriveFixture::CoverageGaps, SchedulerKind::Converge, controller),
+                SimDuration::from_secs(12),
+                11,
+            );
+            let (report, _records, violations) = job.run_checked();
+            assert!(violations.is_empty(), "{}: {violations:?}", controller.id());
+            assert!(
+                report.frames_decoded > 100,
+                "{}: {} frames",
+                controller.id(),
+                report.frames_decoded
+            );
+        }
+    }
+
+    /// Every fixture (4, 6, and 8 paths) runs invariant-clean and spreads
+    /// bytes over more than one path.
+    #[test]
+    fn every_fixture_replays_clean_and_multipath() {
+        for fixture in DriveFixture::ALL {
+            let job = Job::new(
+                drive_cell(fixture, SchedulerKind::Converge, ControllerKind::Gcc),
+                SimDuration::from_secs(12),
+                11,
+            );
+            let (report, _records, violations) = job.run_checked();
+            assert!(violations.is_empty(), "{}: {violations:?}", fixture.id());
+            assert_eq!(report.paths.len(), fixture.path_count(), "{}", fixture.id());
+            let active = report
+                .paths
+                .values()
+                .filter(|p| p.bytes_sent > 0)
+                .count();
+            assert!(active > 1, "{}: {active} active paths", fixture.id());
+        }
+    }
+
+    /// The determinism satellite: per-(fixture, controller) timelines are
+    /// byte-identical whether the sweep ran on 1 worker or 4.
+    #[test]
+    fn drive_traces_are_byte_identical_across_worker_counts() {
+        let jobs: Vec<Job> = DriveFixture::ALL
+            .iter()
+            .flat_map(|&fixture| {
+                ControllerKind::ALL.iter().map(move |&controller| {
+                    Job::new(
+                        drive_cell(fixture, SchedulerKind::Converge, controller),
+                        SimDuration::from_secs(5),
+                        42,
+                    )
+                })
+            })
+            .collect();
+        let render_traces = |workers: usize| -> Vec<String> {
+            let cache = crate::sweep::CellCache::new();
+            cache.set_trace_capture(true);
+            let spec = ExperimentSpec {
+                jobs: jobs.clone(),
+                fold: Box::new(|_| String::new()),
+            };
+            crate::sweep::run_sweep(vec![("drive".into(), spec)], Scale::Quick, workers, &cache);
+            jobs.iter()
+                .map(|job| {
+                    let run = cache.get_or_run(job);
+                    let records = run.trace.as_ref().expect("capture armed");
+                    assert!(!records.is_empty(), "{}", job.fingerprint());
+                    converge_trace::jsonl::render(&job.fingerprint(), records)
+                })
+                .collect()
+        };
+        assert_eq!(
+            render_traces(1),
+            render_traces(4),
+            "drive timelines must not depend on --jobs"
+        );
+    }
+
+    #[test]
+    fn spec_covers_the_full_matrix() {
+        let spec = spec(Scale::Quick);
+        // 3 fixtures × 3 schedulers × 3 controllers × 1 seed.
+        assert_eq!(
+            spec.jobs.len(),
+            DriveFixture::ALL.len() * SCHEDULERS.len() * ControllerKind::ALL.len()
+        );
+        for fixture in DriveFixture::ALL {
+            let id = format!("drive-{}", fixture.id());
+            assert!(
+                spec.jobs.iter().any(|j| j.cell.scenario.id() == id),
+                "{id} missing from the drive matrix"
+            );
+        }
+    }
+}

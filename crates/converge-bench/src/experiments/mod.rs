@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod drive;
 pub mod fec_tradeoff;
 pub mod fig1;
 pub mod fig11_table4;
@@ -188,6 +189,12 @@ pub fn registry() -> Vec<ExperimentDef> {
             aliases: &[],
             desc: "controller shootout: GCC vs NADA vs mp-BBR",
             spec: shootout::spec,
+        },
+        ExperimentDef {
+            id: "drive",
+            aliases: &[],
+            desc: "drive replay: 4-8 path fixtures x scheduler x controller",
+            spec: drive::spec,
         },
     ]
 }

@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use converge_net::{QueueDiscipline, RateTrace, SimDuration};
 use converge_sim::{
-    CallReport, ControllerKind, FecKind, ImpairmentKind, ScenarioConfig, SchedulerKind, Session,
-    SessionConfig,
+    CallReport, ControllerKind, DriveFixture, FecKind, ImpairmentKind, ScenarioConfig,
+    SchedulerKind, Session, SessionConfig,
 };
 use converge_trace::{InvariantSink, RingSink, TraceHandle, TraceRecord, Violation};
 
@@ -52,6 +52,19 @@ pub enum ScenarioSpec {
         /// Which fault path 1 carries.
         kind: ImpairmentKind,
     },
+    /// Replays a committed multi-path drive fixture (4–8 paths of
+    /// rate/OWD/loss captures). The fixture enum keeps the cell hashable;
+    /// the capture itself is embedded at compile time.
+    Drive {
+        /// Which committed fixture to replay.
+        fixture: DriveFixture,
+    },
+    /// The 4–8 path mixed WiFi/cellular/satellite topology
+    /// ([`ScenarioConfig::multi_carrier`]).
+    MultiCarrier {
+        /// Path count, 4–8.
+        paths: u8,
+    },
 }
 
 impl ScenarioSpec {
@@ -76,6 +89,8 @@ impl ScenarioSpec {
                 format!("aqm-{}", if codel { "codel" } else { "drop-tail" })
             }
             ScenarioSpec::Chaos { kind } => format!("chaos-{}", kind.id()),
+            ScenarioSpec::Drive { fixture } => format!("drive-{}", fixture.id()),
+            ScenarioSpec::MultiCarrier { paths } => format!("multi-carrier-{paths}"),
         }
     }
 
@@ -104,6 +119,10 @@ impl ScenarioSpec {
                 scenario
             }
             ScenarioSpec::Chaos { kind } => ScenarioConfig::chaos(kind),
+            ScenarioSpec::Drive { fixture } => fixture.scenario(),
+            ScenarioSpec::MultiCarrier { paths } => {
+                ScenarioConfig::multi_carrier(paths as usize, duration, seed)
+            }
         }
     }
 }
@@ -385,6 +404,21 @@ mod tests {
                 loss_milli_pct: 3_000
             }
         );
+    }
+
+    #[test]
+    fn wide_scenario_specs_build_their_full_topologies() {
+        let d = SimDuration::from_secs(10);
+        for fixture in DriveFixture::ALL {
+            let spec = ScenarioSpec::Drive { fixture };
+            assert_eq!(spec.build(d, 1).paths.len(), fixture.path_count());
+            assert_eq!(spec.id(), format!("drive-{}", fixture.id()));
+        }
+        for paths in 4..=8u8 {
+            let spec = ScenarioSpec::MultiCarrier { paths };
+            assert_eq!(spec.build(d, 1).paths.len(), paths as usize);
+            assert_eq!(spec.id(), format!("multi-carrier-{paths}"));
+        }
     }
 
     #[test]

@@ -194,6 +194,7 @@ mod tests {
             discipline: crate::aqm::QueueDiscipline::DropTail,
             seed: 1,
             impairment: crate::impairment::ImpairmentConfig::default(),
+            drive: None,
         };
         let slow = LinkConfig {
             rate: RateTrace::constant(1_000_000),
@@ -204,6 +205,7 @@ mod tests {
             discipline: crate::aqm::QueueDiscipline::DropTail,
             seed: 2,
             impairment: crate::impairment::ImpairmentConfig::default(),
+            drive: None,
         };
         NetworkEmulator::new(vec![
             Path::symmetric(PathId(0), fast),
@@ -245,6 +247,7 @@ mod tests {
             discipline: crate::aqm::QueueDiscipline::DropTail,
             seed: 1,
             impairment: crate::impairment::ImpairmentConfig::default(),
+            drive: None,
         };
         let mut emu: NetworkEmulator<&str> =
             NetworkEmulator::new(vec![Path::symmetric(PathId(0), cfg)]);

@@ -10,6 +10,8 @@
 //! - [`trace`]: piecewise-constant bandwidth traces + synthetic generators
 //!   for the stationary / walking / driving scenarios of the paper's
 //!   Figs. 20-22.
+//! - [`drive`]: file-driven drive replay — non-uniform `t → (rate, OWD,
+//!   loss)` captures with hold semantics, CSV/JSONL codecs.
 //! - [`loss`]: Bernoulli and Gilbert-Elliott loss models.
 //! - [`aqm`]: queue disciplines — drop-tail and CoDel controlled delay.
 //! - [`link`]: one link direction — disciplined queue, trace-driven
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod aqm;
+pub mod drive;
 pub mod emulator;
 pub mod event;
 pub mod impairment;
@@ -37,6 +40,7 @@ pub mod time;
 pub mod trace;
 
 pub use aqm::{Codel, QueueDiscipline};
+pub use drive::{DriveParseError, DriveSample, DriveTrace};
 pub use emulator::{Delivery, NetworkEmulator, SendOutcome};
 pub use impairment::{BlackoutSchedule, ImpairmentConfig};
 pub use link::{Link, LinkConfig, LinkStats, Offer, Transmit};

@@ -10,6 +10,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::aqm::{Codel, QueueDiscipline};
+use crate::drive::DriveTrace;
 use crate::impairment::ImpairmentConfig;
 use crate::loss::{LossModel, LossProcess};
 use crate::time::{SimDuration, SimTime};
@@ -37,6 +38,12 @@ pub struct LinkConfig {
     pub impairment: ImpairmentConfig,
     /// Seed for this link's private RNG.
     pub seed: u64,
+    /// Replayed drive capture. When set it overrides `rate` (bottleneck
+    /// serialization), `propagation` (per-packet one-way delay from the
+    /// sample in effect at send time), and adds a time-varying Bernoulli
+    /// loss stage from the capture's `loss_pct` column. `None` leaves the
+    /// static/trace-driven behaviour untouched.
+    pub drive: Option<DriveTrace>,
 }
 
 impl Default for LinkConfig {
@@ -51,6 +58,7 @@ impl Default for LinkConfig {
             discipline: QueueDiscipline::DropTail,
             impairment: ImpairmentConfig::default(),
             seed: 0,
+            drive: None,
         }
     }
 }
@@ -163,7 +171,10 @@ impl Link {
 
     /// The instantaneous bottleneck rate at `now`, bits per second.
     pub fn rate_at(&self, now: SimTime) -> u64 {
-        self.config.rate.rate_at(now)
+        match &self.config.drive {
+            Some(drive) => drive.rate_at(now),
+            None => self.config.rate.rate_at(now),
+        }
     }
 
     /// One-way propagation delay.
@@ -269,6 +280,20 @@ impl Link {
             };
         }
 
+        // Drive-replay loss: a time-varying Bernoulli stage from the
+        // capture's loss column. Guarded so loss-free segments make zero
+        // RNG draws and leave the jitter/reorder streams untouched.
+        if let Some(drive) = &self.config.drive {
+            let p = (drive.loss_at(now) / 100.0).clamp(0.0, 1.0);
+            if p > 0.0 && self.rng.gen_bool(p) {
+                self.stats.random_losses += 1;
+                return Offer {
+                    fate: Transmit::RandomLoss,
+                    duplicate: None,
+                };
+            }
+        }
+
         // Serialize through the bottleneck, honouring rate changes at trace
         // segment boundaries.
         let start = self.busy_until.max(now);
@@ -297,7 +322,13 @@ impl Link {
             SimDuration::ZERO
         };
 
-        let deliver = finish + self.config.propagation + jitter + holdback + imp.delay;
+        // Under drive replay the one-way delay tracks the sample in effect
+        // at send time (handover OWD spikes); otherwise it is static.
+        let propagation = match &self.config.drive {
+            Some(drive) => drive.owd_at(now),
+            None => self.config.propagation,
+        };
+        let deliver = finish + propagation + jitter + holdback + imp.delay;
 
         // Impairment duplication stage: the copy trails the original.
         let duplicate = if imp.duplicate_prob > 0.0
@@ -323,6 +354,9 @@ impl Link {
     /// Computes when `bytes` finish serializing if started at `start`,
     /// walking trace segments as the rate changes.
     fn serialize_from(&self, start: SimTime, bytes: usize) -> SimTime {
+        if let Some(drive) = &self.config.drive {
+            return Self::serialize_over_drive(drive, start, bytes);
+        }
         let mut remaining_bits = bytes as u128 * 8;
         let mut t = start;
         // Bound the walk: if the link is stalled (rate 0) for the entire
@@ -353,6 +387,41 @@ impl Link {
         t
     }
 
+    /// The drive-replay serialization walk. Drive traces hold their last
+    /// sample forever instead of wrapping, so the walk visits finitely many
+    /// boundaries: inside the final hold segment a zero rate means the link
+    /// is stalled for good ([`SimTime::MAX`]) and a positive rate finishes
+    /// directly.
+    fn serialize_over_drive(drive: &DriveTrace, start: SimTime, bytes: usize) -> SimTime {
+        let mut remaining_bits = bytes as u128 * 8;
+        let mut t = start;
+        loop {
+            let rate = drive.rate_at(t);
+            match drive.until_next_change(t) {
+                Some(window) => {
+                    if rate == 0 {
+                        t += window;
+                        continue;
+                    }
+                    let window_bits = rate as u128 * window.as_micros() as u128 / 1_000_000;
+                    if window_bits >= remaining_bits {
+                        let us = (remaining_bits * 1_000_000).div_ceil(rate as u128);
+                        return t + SimDuration::from_micros(us as u64);
+                    }
+                    remaining_bits -= window_bits;
+                    t += window;
+                }
+                None => {
+                    if rate == 0 {
+                        return SimTime::MAX;
+                    }
+                    let us = (remaining_bits * 1_000_000).div_ceil(rate as u128);
+                    return t + SimDuration::from_micros(us as u64);
+                }
+            }
+        }
+    }
+
     /// Forgets packets that have cleared the bottleneck by `now`.
     fn prune(&mut self, now: SimTime) {
         while let Some(&(finish, bytes)) = self.in_flight.front() {
@@ -380,7 +449,23 @@ mod tests {
             discipline: QueueDiscipline::DropTail,
             seed: 1,
             impairment: ImpairmentConfig::default(),
+            drive: None,
         }
+    }
+
+    fn drive(samples: Vec<(u64, u64, u64, f64)>) -> DriveTrace {
+        DriveTrace::new(
+            samples
+                .into_iter()
+                .map(|(t_ms, rate, owd_ms, loss)| crate::drive::DriveSample {
+                    at: SimTime::from_millis(t_ms),
+                    rate_bps: rate,
+                    owd: SimDuration::from_millis(owd_ms),
+                    loss_pct: loss,
+                })
+                .collect(),
+        )
+        .expect("valid drive")
     }
 
     #[test]
@@ -688,6 +773,94 @@ mod tests {
             SimDuration::from_micros(1),
         ));
         assert_eq!(run(ImpairmentConfig::default()), run(past));
+    }
+
+    #[test]
+    fn drive_overrides_rate_owd_and_survives_gaps() {
+        // 10 Mbps / 40 ms, then a 2 s coverage gap (rate 0, OWD inflated),
+        // then recovery at 20 Mbps / 30 ms.
+        let mut cfg = link_cfg(999, 999, 10_000_000);
+        cfg.drive = Some(drive(vec![
+            (0, 10_000_000, 40, 0.0),
+            (1_000, 0, 120, 0.0),
+            (3_000, 20_000_000, 30, 0.0),
+        ]));
+        let mut l = Link::new(cfg);
+        // 1250 B at 10 Mbps = 1 ms serialization, +40 ms drive OWD; the
+        // static `rate`/`propagation` fields (garbage here) are ignored.
+        match l.transmit(SimTime::ZERO, 1250) {
+            Transmit::Delivered(at) => assert_eq!(at.as_millis(), 41),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.rate_at(SimTime::from_millis(1_500)), 0);
+        // A packet offered inside the gap serializes only once coverage
+        // returns at t=3 s (finish 3 s + 500 us at 20 Mbps) and carries the
+        // in-gap OWD of 120 ms from its send instant.
+        match l.transmit(SimTime::from_millis(2_000), 1250) {
+            Transmit::Delivered(at) => assert_eq!(at.as_micros(), 3_000_500 + 120_000),
+            other => panic!("unexpected {other:?}"),
+        }
+        // After the gap the link is NOT wedged: recovery rate and OWD apply.
+        match l.transmit(SimTime::from_millis(4_000), 1250) {
+            Transmit::Delivered(at) => assert_eq!(at.as_micros(), 4_000_500 + 30_000),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drive_zero_rate_final_hold_stalls_forever() {
+        let mut cfg = link_cfg(10_000_000, 10, 1_000_000);
+        cfg.drive = Some(drive(vec![(0, 5_000_000, 20, 0.0), (1_000, 0, 20, 0.0)]));
+        let mut l = Link::new(cfg);
+        match l.transmit(SimTime::from_secs(2), 100) {
+            Transmit::Delivered(at) => assert_eq!(at, SimTime::MAX),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drive_loss_column_drops_packets_only_in_lossy_segments() {
+        // 50% loss for the first second, clean afterwards.
+        let mut cfg = link_cfg(999, 999, 10_000_000);
+        cfg.drive = Some(drive(vec![
+            (0, 100_000_000, 10, 50.0),
+            (1_000, 100_000_000, 10, 0.0),
+        ]));
+        let mut l = Link::new(cfg);
+        let mut lost_early = 0u64;
+        for i in 0..500u64 {
+            if l.transmit(SimTime::from_micros(i * 2_000), 100) == Transmit::RandomLoss {
+                lost_early += 1;
+            }
+        }
+        assert!((150..350).contains(&lost_early), "lost {lost_early}");
+        let mut lost_late = 0u64;
+        for i in 0..500u64 {
+            let now = SimTime::from_millis(1_000) + SimDuration::from_micros(i * 2_000);
+            if l.transmit(now, 100) == Transmit::RandomLoss {
+                lost_late += 1;
+            }
+        }
+        assert_eq!(lost_late, 0, "clean segment must not drop");
+        assert_eq!(l.stats().random_losses, lost_early);
+    }
+
+    #[test]
+    fn drive_link_is_deterministic_given_seed() {
+        let run = || {
+            let mut cfg = link_cfg(999, 999, 50_000);
+            cfg.jitter = SimDuration::from_millis(5);
+            cfg.drive = Some(drive(vec![
+                (0, 8_000_000, 30, 2.0),
+                (2_000, 500_000, 90, 8.0),
+                (4_000, 12_000_000, 25, 0.0),
+            ]));
+            let mut l = Link::new(cfg);
+            (0..2_000)
+                .map(|i| l.transmit(SimTime::from_micros(i * 3_000), 1200))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -116,6 +116,7 @@ mod tests {
             discipline: crate::aqm::QueueDiscipline::DropTail,
             seed: 9,
             impairment: crate::impairment::ImpairmentConfig::default(),
+            drive: None,
         }
     }
 

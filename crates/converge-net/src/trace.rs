@@ -104,24 +104,30 @@ impl RateTrace {
                 .trim()
                 .parse()
                 .map_err(|_| TraceParseError::BadLine(lineno + 1))?;
+            // `f64::parse` happily accepts "NaN"/"inf"; a timestamp that is
+            // not a finite non-negative number is a malformed row, reported
+            // with its 1-based line number like any other parse failure.
+            if !t.is_finite() || t < 0.0 {
+                return Err(TraceParseError::BadLine(lineno + 1));
+            }
             let r: u64 = r
                 .trim()
                 .parse()
                 .map_err(|_| TraceParseError::BadLine(lineno + 1))?;
-            times.push(t);
+            times.push((t, lineno + 1));
             rates.push(r);
         }
         if rates.is_empty() {
             return Err(TraceParseError::Empty);
         }
         let step = if times.len() >= 2 {
-            let dt = times[1] - times[0];
+            let dt = times[1].0 - times[0].0;
             if dt <= 0.0 {
-                return Err(TraceParseError::NonUniformStep);
+                return Err(TraceParseError::NonUniformStep(times[1].1));
             }
             for w in times.windows(2) {
-                if ((w[1] - w[0]) - dt).abs() > 1e-6 {
-                    return Err(TraceParseError::NonUniformStep);
+                if ((w[1].0 - w[0].0) - dt).abs() > 1e-6 {
+                    return Err(TraceParseError::NonUniformStep(w[1].1));
                 }
             }
             SimDuration::from_secs_f64(dt)
@@ -137,10 +143,12 @@ impl RateTrace {
 pub enum TraceParseError {
     /// The file had no data rows.
     Empty,
-    /// A row was not `seconds,bits_per_sec`.
+    /// The row at this 1-based line was not `seconds,bits_per_sec` with a
+    /// finite non-negative timestamp.
     BadLine(usize),
-    /// Rows were not uniformly spaced in time.
-    NonUniformStep,
+    /// The row at this 1-based line broke the uniform time spacing
+    /// established by the first two rows.
+    NonUniformStep(usize),
 }
 
 impl std::fmt::Display for TraceParseError {
@@ -148,7 +156,9 @@ impl std::fmt::Display for TraceParseError {
         match self {
             TraceParseError::Empty => write!(f, "trace file has no data rows"),
             TraceParseError::BadLine(n) => write!(f, "malformed trace row at line {n}"),
-            TraceParseError::NonUniformStep => write!(f, "trace rows are not uniformly spaced"),
+            TraceParseError::NonUniformStep(n) => {
+                write!(f, "trace row at line {n} is not uniformly spaced")
+            }
         }
     }
 }
@@ -324,7 +334,69 @@ mod tests {
         );
         assert_eq!(
             RateTrace::from_csv("0.0,5\n1.0,5\n3.0,5\n"),
-            Err(TraceParseError::NonUniformStep)
+            Err(TraceParseError::NonUniformStep(3))
+        );
+    }
+
+    #[test]
+    fn csv_empty_variants() {
+        // Whitespace and comments alone are still "no data rows".
+        assert_eq!(RateTrace::from_csv("\n\n"), Err(TraceParseError::Empty));
+        assert_eq!(
+            RateTrace::from_csv("# only a header\n  \n"),
+            Err(TraceParseError::Empty)
+        );
+    }
+
+    #[test]
+    fn csv_malformed_rows_report_their_file_line() {
+        // The offending line number counts comments and blanks (1-based).
+        assert_eq!(
+            RateTrace::from_csv("# header\n0.0,100\nbogus\n"),
+            Err(TraceParseError::BadLine(3))
+        );
+        assert_eq!(
+            RateTrace::from_csv("0.0,100\n0.5,-3\n"),
+            Err(TraceParseError::BadLine(2))
+        );
+        assert_eq!(
+            RateTrace::from_csv("0.0,100\n0.5,1.5\n"),
+            Err(TraceParseError::BadLine(2))
+        );
+        assert_eq!(
+            RateTrace::from_csv("0.0,100,extra\n"),
+            Err(TraceParseError::BadLine(1))
+        );
+    }
+
+    #[test]
+    fn csv_rejects_nan_and_inf_timestamps() {
+        // f64::parse accepts these spellings; the trace parser must not.
+        for bad in ["NaN,100\n", "inf,100\n", "-inf,100\n", "-1.0,100\n"] {
+            assert_eq!(
+                RateTrace::from_csv(bad),
+                Err(TraceParseError::BadLine(1)),
+                "{bad:?}"
+            );
+        }
+        assert_eq!(
+            RateTrace::from_csv("0.0,100\nNaN,100\n"),
+            Err(TraceParseError::BadLine(2))
+        );
+    }
+
+    #[test]
+    fn csv_non_uniform_step_names_the_offending_row() {
+        // Backwards time shows up on the second row...
+        assert_eq!(
+            RateTrace::from_csv("1.0,5\n0.5,5\n"),
+            Err(TraceParseError::NonUniformStep(2))
+        );
+        // ...while a late spacing break names the row that broke it, even
+        // with comment lines shifting the file line numbers.
+        assert_eq!(
+            RateTrace::from_csv("# gen\n0.0,5\n0.5,5\n1.0,5\n1.7,5\n"),
+            Err(TraceParseError::NonUniformStep(5))
         );
     }
 

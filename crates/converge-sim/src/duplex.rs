@@ -76,6 +76,7 @@ impl DuplexSession {
                     discipline: spec.discipline.clone(),
                     seed: seed.wrapping_add(i as u64 * 7919),
                     impairment: spec.forward_impairment,
+                    drive: spec.drive.clone(),
                 };
                 let mut rev = cfg.clone();
                 rev.seed = cfg.seed.wrapping_add(0xB1D1);

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod drives;
 pub mod duplex;
 pub mod metrics;
 pub mod pacer;
@@ -24,11 +25,14 @@ pub use converge_cc::{
     CongestionController, ControllerConfig, ControllerKind, MpBbrConfig, MpBbrController,
     NadaConfig, NadaController,
 };
+pub use drives::DriveFixture;
 pub use duplex::DuplexSession;
 pub use metrics::{CallReport, MetricsCollector, PathCounters, SecondBin};
 pub use pacer::{Pacer, PacerConfig};
 pub use payload::{NetPayload, RtpKind, SimRtp};
 pub use receiver::ConferenceReceiver;
-pub use scenarios::{FecKind, ImpairmentKind, PathSpec, ScenarioConfig, SchedulerKind};
+pub use scenarios::{
+    DriveLoadError, FecKind, ImpairmentKind, PathSpec, ScenarioConfig, SchedulerKind,
+};
 pub use sender::{ConferenceSender, FrameTickResult, OutboundPacket, RateCoupling};
 pub use session::{ConfigError, Session, SessionConfig, SessionConfigBuilder};

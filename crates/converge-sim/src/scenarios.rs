@@ -6,8 +6,8 @@ use converge_core::{
     MRtpScheduler, MTputScheduler, Scheduler, SinglePathScheduler, SrttScheduler, WebRtcTableFec,
 };
 use converge_net::{
-    trace, BlackoutSchedule, Carrier, ImpairmentConfig, LinkConfig, LossModel, Path, PathId,
-    QueueDiscipline, RateTrace, Scenario, SimDuration, SimTime,
+    trace, BlackoutSchedule, Carrier, DriveParseError, DriveTrace, ImpairmentConfig, LinkConfig,
+    LossModel, Path, PathId, QueueDiscipline, RateTrace, Scenario, SimDuration, SimTime,
 };
 
 /// Which scheduler to run.
@@ -152,6 +152,11 @@ pub struct PathSpec {
     /// default; setting it alone models a starved feedback channel while
     /// media flows clean.
     pub reverse_impairment: ImpairmentConfig,
+    /// Replayed drive capture. When set it overrides `rate`, `propagation`,
+    /// and `loss` on both directions (the two directions share one radio,
+    /// so a coverage gap darkens the feedback channel too). `None` for
+    /// every synthetic scenario.
+    pub drive: Option<DriveTrace>,
 }
 
 impl Default for PathSpec {
@@ -179,6 +184,26 @@ impl PathSpec {
             discipline: QueueDiscipline::DropTail,
             forward_impairment: ImpairmentConfig::default(),
             reverse_impairment: ImpairmentConfig::default(),
+            drive: None,
+        }
+    }
+
+    /// A path replaying a drive capture: rate, one-way delay, and loss all
+    /// follow the trace. The static fields are set from the capture's
+    /// initial sample so code that inspects them (e.g. `Path::base_rtt`)
+    /// sees sensible values.
+    pub fn from_drive(drive: DriveTrace) -> Self {
+        let first = drive.samples()[0];
+        PathSpec {
+            rate: RateTrace::constant(first.rate_bps),
+            propagation: first.owd,
+            loss: LossModel::None,
+            queue_bytes: 300_000,
+            jitter: SimDuration::ZERO,
+            discipline: QueueDiscipline::DropTail,
+            forward_impairment: ImpairmentConfig::default(),
+            reverse_impairment: ImpairmentConfig::default(),
+            drive: Some(drive),
         }
     }
 
@@ -200,6 +225,7 @@ impl PathSpec {
             discipline: self.discipline.clone(),
             seed,
             impairment: self.forward_impairment,
+            drive: self.drive.clone(),
         };
         // Mirror Path::symmetric (uncongested feedback queue, independent
         // seed) while letting each direction carry its own impairment.
@@ -437,6 +463,83 @@ impl ScenarioConfig {
         })
     }
 
+    /// Builds a scenario from multi-path drive-replay JSONL (see
+    /// [`DriveTrace::parse_jsonl`] for the row format): one path per path
+    /// ID in the file, each replaying its rate/OWD/loss capture.
+    pub fn from_drive_str(jsonl: &str) -> Result<Self, DriveParseError> {
+        let traces = DriveTrace::parse_jsonl(jsonl)?;
+        Ok(ScenarioConfig {
+            name: "drive-replay".into(),
+            paths: traces.into_iter().map(PathSpec::from_drive).collect(),
+        })
+    }
+
+    /// Reads a drive-replay JSONL file from disk and builds its scenario.
+    /// The scenario is named after the file stem (`drive-<stem>`).
+    pub fn from_drive_file(path: impl AsRef<std::path::Path>) -> Result<Self, DriveLoadError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(DriveLoadError::Io)?;
+        let mut scenario = Self::from_drive_str(&text).map_err(DriveLoadError::Parse)?;
+        if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+            scenario.name = format!("drive-{stem}");
+        }
+        Ok(scenario)
+    }
+
+    /// A first-class 4–8 path topology mixing the asymmetries a
+    /// multi-radio vehicle actually sees: WiFi (low RTT, dies when out of
+    /// range), several cellular carriers with staggered coverage, and
+    /// satellite (high RTT, stable). Paths beyond the paper's 2–3 stress
+    /// the scheduler's share bookkeeping and the FEC controller's per-path
+    /// state at widths the presets never reach.
+    ///
+    /// # Panics
+    /// Panics unless `4 <= n_paths <= 8`.
+    pub fn multi_carrier(n_paths: usize, duration: SimDuration, seed: u64) -> Self {
+        assert!(
+            (4..=8).contains(&n_paths),
+            "multi_carrier supports 4-8 paths, got {n_paths}"
+        );
+        let cell = |scenario, carrier, one_way_ms: u64, jitter_ms: u64, loss: f64, salt: u64| {
+            PathSpec {
+                rate: trace::synthesize(scenario, carrier, duration, seed.wrapping_add(salt)),
+                propagation: SimDuration::from_millis(one_way_ms),
+                loss: LossModel::bursty_percent(loss),
+                queue_bytes: 250_000,
+                jitter: SimDuration::from_millis(jitter_ms),
+                ..Default::default()
+            }
+        };
+        let sat = |rate_bps: u64, one_way_ms: u64, jitter_ms: u64| PathSpec {
+            rate: RateTrace::constant(rate_bps),
+            propagation: SimDuration::from_millis(one_way_ms),
+            loss: LossModel::bursty_percent(0.3),
+            queue_bytes: 400_000,
+            jitter: SimDuration::from_millis(jitter_ms),
+            ..Default::default()
+        };
+        let all = vec![
+            // 0: in-vehicle WiFi — fast but walking-grade coverage.
+            cell(Scenario::Walking, Carrier::Wifi, 12, 2, 0.2, 0),
+            // 1-2: the two driving carriers of §6.1.
+            cell(Scenario::Driving, Carrier::CellularA, 35, 8, 0.7, 1),
+            cell(Scenario::Driving, Carrier::CellularB, 40, 8, 0.7, 2),
+            // 3: GEO satellite — stable rate, painful RTT.
+            sat(18_000_000, 280, 10),
+            // 4-5: secondary SIMs on the same carriers, different towers.
+            cell(Scenario::Driving, Carrier::CellularA, 45, 10, 1.0, 3),
+            cell(Scenario::Walking, Carrier::CellularB, 30, 5, 0.4, 4),
+            // 6: LEO satellite — moderate RTT, moderate rate.
+            sat(12_000_000, 60, 15),
+            // 7: roaming partner cellular — slow and far.
+            cell(Scenario::Driving, Carrier::CellularB, 70, 12, 1.5, 5),
+        ];
+        ScenarioConfig {
+            name: format!("multi-carrier-{n_paths}"),
+            paths: all.into_iter().take(n_paths).collect(),
+        }
+    }
+
     /// The chaos matrix scenario: path 0 is a clean 15 Mbps / 30 ms
     /// reference, path 1 is an equal-rate 50 ms path carrying one named
     /// impairment. Keeping exactly one fault per scenario makes matrix
@@ -502,6 +605,27 @@ impl ScenarioConfig {
             .collect()
     }
 }
+
+/// Errors from [`ScenarioConfig::from_drive_file`]: the file couldn't be
+/// read, or its contents couldn't be parsed.
+#[derive(Debug)]
+pub enum DriveLoadError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The file's contents were not valid drive-replay JSONL.
+    Parse(DriveParseError),
+}
+
+impl std::fmt::Display for DriveLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveLoadError::Io(e) => write!(f, "reading drive file: {e}"),
+            DriveLoadError::Parse(e) => write!(f, "parsing drive file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriveLoadError {}
 
 #[cfg(test)]
 mod tests {
@@ -627,6 +751,50 @@ mod tests {
         let (rev, _) = emu.send(PathId(0), Direction::Reverse, SimTime::ZERO, 100, 0);
         assert_eq!(fwd, SendOutcome::Blackout);
         assert_eq!(rev, SendOutcome::Blackout);
+    }
+
+    #[test]
+    fn from_drive_str_builds_one_path_per_id() {
+        let jsonl = "\
+{\"t\":0.0,\"path\":0,\"rate_bps\":10000000,\"owd_ms\":20,\"loss_pct\":0}\n\
+{\"t\":0.0,\"path\":1,\"rate_bps\":5000000,\"owd_ms\":80,\"loss_pct\":1.5}\n\
+{\"t\":5.0,\"path\":0,\"rate_bps\":2000000,\"owd_ms\":60,\"loss_pct\":3}\n";
+        let cfg = ScenarioConfig::from_drive_str(jsonl).expect("parses");
+        assert_eq!(cfg.paths.len(), 2);
+        // Static fields mirror the initial sample; the drive is attached.
+        assert_eq!(cfg.paths[0].propagation.as_millis(), 20);
+        assert_eq!(cfg.paths[1].propagation.as_millis(), 80);
+        let drive = cfg.paths[0].drive.as_ref().expect("drive attached");
+        assert_eq!(drive.rate_at(SimTime::from_secs(6)), 2_000_000);
+        // The drive reaches the built links, both directions.
+        let paths = cfg.build_paths(5);
+        assert!(paths[0].link(converge_net::Direction::Forward).config().drive.is_some());
+        assert!(paths[0].link(converge_net::Direction::Reverse).config().drive.is_some());
+    }
+
+    #[test]
+    fn multi_carrier_builds_4_to_8_paths() {
+        let d = SimDuration::from_secs(30);
+        for n in 4..=8 {
+            let cfg = ScenarioConfig::multi_carrier(n, d, 3);
+            assert_eq!(cfg.paths.len(), n);
+            assert_eq!(cfg.name, format!("multi-carrier-{n}"));
+            let paths = cfg.build_paths(3);
+            assert_eq!(paths.len(), n);
+            for (i, p) in paths.iter().enumerate() {
+                assert_eq!(p.id(), PathId(i as u8));
+            }
+        }
+        // The mix is genuinely asymmetric: the satellite path's RTT dwarfs
+        // the WiFi path's.
+        let cfg = ScenarioConfig::multi_carrier(4, d, 3);
+        assert!(cfg.paths[3].propagation >= cfg.paths[0].propagation * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "multi_carrier supports 4-8 paths")]
+    fn multi_carrier_rejects_narrow_topologies() {
+        let _ = ScenarioConfig::multi_carrier(3, SimDuration::from_secs(10), 1);
     }
 
     #[test]

@@ -18,8 +18,9 @@ use proptest::prelude::*;
 use converge_core::PathShare;
 use converge_net::event::EventQueue;
 use converge_net::{
-    BlackoutSchedule, Direction, ImpairmentConfig, Link, LinkConfig, LossModel, LossProcess,
-    NetworkEmulator, Path, PathId, RateTrace, SendOutcome, SimDuration, SimTime, Transmit,
+    BlackoutSchedule, Direction, DriveParseError, DriveSample, DriveTrace, ImpairmentConfig,
+    Link, LinkConfig, LossModel, LossProcess, NetworkEmulator, Path, PathId, RateTrace,
+    SendOutcome, SimDuration, SimTime, Transmit,
 };
 use converge_rtp::{fec, MultipathExtension, PayloadType, RtpPacket};
 use converge_video::{
@@ -481,6 +482,148 @@ fn rate_trace_wraps_periodically_past_its_span() {
     // a million full cycles later the first segment is in effect again.
     let far = SimTime::from_micros(span.as_micros() * 1_000_000);
     assert_eq!(t.rate_at(far), t.rate_at(SimTime::ZERO));
+}
+
+// ---------- drive traces ----------
+
+/// Builds a drive trace from milli-unit integers: times in ms (strictly
+/// increasing via positive gaps), OWDs in ms, loss in milli-percent.
+/// Milli-units survive the CSV/JSONL decimal formatting exactly, so the
+/// round-trip properties can demand equality rather than tolerance.
+fn drive_from_milli(rows: &[(u64, u64, u64, u64)]) -> DriveTrace {
+    let mut t_ms = 0u64;
+    let samples = rows
+        .iter()
+        .map(|&(gap_ms, rate_bps, owd_ms, loss_milli_pct)| {
+            t_ms += gap_ms;
+            DriveSample {
+                at: SimTime::from_millis(t_ms),
+                rate_bps,
+                owd: SimDuration::from_millis(owd_ms),
+                loss_pct: loss_milli_pct as f64 / 1000.0,
+            }
+        })
+        .collect();
+    DriveTrace::new(samples).expect("milli-unit rows are valid")
+}
+
+fn check_drive_csv_roundtrips(rows: &[(u64, u64, u64, u64)]) {
+    let t = drive_from_milli(rows);
+    let back = DriveTrace::from_csv(&t.to_csv()).expect("csv roundtrip");
+    assert_eq!(t, back);
+}
+
+fn check_drive_jsonl_roundtrips(rows: &[(u64, u64, u64, u64)], path: u8) {
+    let t = drive_from_milli(rows);
+    // Path IDs must be contiguous from 0, so a single-trace document only
+    // parses when its rows carry path 0; any other ID is a missing-path
+    // error, not a silent renumbering.
+    match DriveTrace::parse_jsonl(&t.to_jsonl(path)) {
+        Ok(back) => {
+            assert_eq!(path, 0, "non-zero path must not parse as a lone trace");
+            assert_eq!(back, vec![t]);
+        }
+        Err(err) => {
+            assert_ne!(path, 0, "path-0 document must roundtrip: {err:?}");
+            assert!(matches!(err, DriveParseError::MissingPath(0)), "{err:?}");
+        }
+    }
+}
+
+fn check_drive_rejects_non_monotone_time(rows: &[(u64, u64, u64, u64)], dup_at: usize) {
+    let good = drive_from_milli(rows);
+    let mut samples = good.samples().to_vec();
+    let dup = samples[dup_at.min(samples.len() - 1)];
+    samples.push(dup); // time now revisits an earlier stamp
+    samples.sort_by_key(|s| s.at);
+    let err = DriveTrace::new(samples).expect_err("duplicate timestamp must be rejected");
+    assert!(matches!(err, DriveParseError::NonMonotoneTime(_)), "{err:?}");
+}
+
+fn check_drive_holds_across_boundaries(rows: &[(u64, u64, u64, u64)]) {
+    let t = drive_from_milli(rows);
+    let samples = t.samples();
+    // Before the first sample: the first sample's values hold.
+    let before = SimTime::ZERO;
+    assert_eq!(t.sample_at(before), &samples[0]);
+    for (i, s) in samples.iter().enumerate() {
+        // Exactly at a boundary the new sample takes effect…
+        assert_eq!(t.sample_at(s.at), s, "boundary {i}");
+        // …and one microsecond earlier the previous one still holds.
+        if i > 0 {
+            let just_before = SimTime::from_micros(s.at.as_micros() - 1);
+            assert_eq!(t.sample_at(just_before), &samples[i - 1], "pre-boundary {i}");
+        }
+    }
+    // Past the end the last sample holds forever (no wrap, unlike
+    // `RateTrace`).
+    let far = SimTime::from_micros(t.end().as_micros() + 86_400_000_000);
+    assert_eq!(t.sample_at(far), samples.last().unwrap());
+    assert_eq!(t.until_next_change(far), None);
+}
+
+fn arb_drive_rows() -> impl Strategy<Value = Vec<(u64, u64, u64, u64)>> {
+    proptest::collection::vec(
+        (1u64..60_000, 0u64..100_000_000, 0u64..2_000, 0u64..100_000),
+        1..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn drive_csv_roundtrips(rows in arb_drive_rows()) {
+        check_drive_csv_roundtrips(&rows);
+    }
+
+    #[test]
+    fn drive_jsonl_roundtrips(rows in arb_drive_rows(), path in any::<u8>()) {
+        check_drive_jsonl_roundtrips(&rows, path);
+    }
+
+    #[test]
+    fn drive_rejects_non_monotone_time(rows in arb_drive_rows(), dup_at in any::<usize>()) {
+        check_drive_rejects_non_monotone_time(&rows, dup_at);
+    }
+
+    #[test]
+    fn drive_holds_across_boundaries(rows in arb_drive_rows()) {
+        check_drive_holds_across_boundaries(&rows);
+    }
+}
+
+/// Deterministic sample of the drive-trace properties (always runs, even
+/// under the offline proptest stand-in).
+#[test]
+fn drive_properties_seeded_grid() {
+    let grids: [&[(u64, u64, u64, u64)]; 4] = [
+        // Single row: degenerate trace, zero loss.
+        &[(5, 1_000_000, 40, 0)],
+        // Coverage gap: healthy → dead (zero rate, lossy) → healthy.
+        &[
+            (1_000, 20_000_000, 35, 500),
+            (9_000, 0, 120, 5_000),
+            (8_000, 25_000_000, 30, 0),
+        ],
+        // Millisecond-scale gaps and fractional loss needing all three
+        // formatted decimals.
+        &[(1, 1, 1, 1), (1, 2, 2, 12), (1, 3, 3, 123), (2, 4, 0, 99_999)],
+        // A longer walk with repeated values (plateaus are legal; only
+        // *time* must move).
+        &[
+            (500, 8_000_000, 60, 250),
+            (500, 8_000_000, 60, 250),
+            (500, 9_500_000, 55, 0),
+            (1_500, 9_500_000, 70, 0),
+            (250, 500_000, 90, 10_000),
+        ],
+    ];
+    for (i, rows) in grids.iter().enumerate() {
+        check_drive_csv_roundtrips(rows);
+        check_drive_jsonl_roundtrips(rows, 0);
+        check_drive_jsonl_roundtrips(rows, i as u8);
+        check_drive_rejects_non_monotone_time(rows, i);
+        check_drive_holds_across_boundaries(rows);
+    }
 }
 
 // ---------- path share (Eq. 1 + Eq. 2) ----------
