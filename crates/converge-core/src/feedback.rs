@@ -11,7 +11,7 @@
 //! disables a path whose share reaches zero, and re-enables it when Eq. 3
 //! holds: `(rtt_fast − rtt_i)/2 ≤ FCD`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use converge_net::{PathId, SimDuration, SimTime};
 use converge_rtp::QoeFeedback;
@@ -30,8 +30,11 @@ pub struct QoeMonitor {
     ssrc: u32,
     /// Expected IFD = 1 / advertised frame rate.
     expected_ifd: SimDuration,
-    /// Arrival records for frames still being gathered.
-    gathering: BTreeMap<u64, FrameArrivals>,
+    /// Arrival records for frames still being gathered, sorted by frame
+    /// id. A key-sorted deque beats an ordered map here: the hot path is
+    /// "append packet to the newest frame", which is a back() check, and
+    /// the set never exceeds 64 entries.
+    gathering: VecDeque<(u64, FrameArrivals)>,
     /// The path currently considered fast (reference for lateness).
     fast_path: PathId,
     /// Most recent FCD observed.
@@ -50,7 +53,7 @@ impl QoeMonitor {
         QoeMonitor {
             ssrc,
             expected_ifd: SimDuration::from_micros(1_000_000 / fps.max(1) as u64),
-            gathering: BTreeMap::new(),
+            gathering: VecDeque::new(),
             fast_path,
             last_fcd: SimDuration::ZERO,
             pending: Vec::new(),
@@ -83,15 +86,35 @@ impl QoeMonitor {
 
     /// Records a media/control packet arrival for `frame_id` via `path`.
     pub fn on_packet(&mut self, now: SimTime, path: PathId, frame_id: u64) {
-        self.gathering
-            .entry(frame_id)
-            .or_default()
+        // Fast path: the packet belongs to the newest frame in flight.
+        let slot = match self.gathering.back_mut() {
+            Some((id, arrivals)) if *id == frame_id => Some(arrivals),
+            Some((id, _)) if *id < frame_id => {
+                self.gathering.push_back((frame_id, FrameArrivals::default()));
+                self.gathering.back_mut().map(|(_, a)| a)
+            }
+            None => {
+                self.gathering.push_back((frame_id, FrameArrivals::default()));
+                self.gathering.back_mut().map(|(_, a)| a)
+            }
+            // Out-of-order arrival for an older frame: insert sorted.
+            Some(_) => {
+                let idx = match self.gathering.binary_search_by_key(&frame_id, |(id, _)| *id) {
+                    Ok(idx) => idx,
+                    Err(idx) => {
+                        self.gathering.insert(idx, (frame_id, FrameArrivals::default()));
+                        idx
+                    }
+                };
+                self.gathering.get_mut(idx).map(|(_, a)| a)
+            }
+        };
+        slot.expect("slot was just found or inserted")
             .packets
             .push((path, now));
         // Bound memory: forget very old frames.
         while self.gathering.len() > 64 {
-            let oldest = *self.gathering.keys().next().expect("non-empty");
-            self.gathering.remove(&oldest);
+            self.gathering.pop_front();
         }
     }
 
@@ -105,7 +128,13 @@ impl QoeMonitor {
         fcd: SimDuration,
     ) {
         self.last_fcd = fcd;
-        let Some(arrivals) = self.gathering.remove(&frame_id) else {
+        let Some(arrivals) = self
+            .gathering
+            .binary_search_by_key(&frame_id, |(id, _)| *id)
+            .ok()
+            .and_then(|idx| self.gathering.remove(idx))
+            .map(|(_, a)| a)
+        else {
             return;
         };
         let Some(ifd) = ifd else {

@@ -159,6 +159,14 @@ impl<P> NetworkEmulator<P> {
     /// Pops every delivery due at or before `now`, in arrival order.
     pub fn poll(&mut self, now: SimTime) -> Vec<Delivery<P>> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// Appends every delivery due at or before `now` to `out`, in arrival
+    /// order. Allocation-free once `out` has warmed up; the event loop
+    /// clears and reuses one buffer across iterations.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<Delivery<P>>) {
         while let Some((at, f)) = self.queue.pop_due(now) {
             out.push(Delivery {
                 path: f.path,
@@ -168,7 +176,6 @@ impl<P> NetworkEmulator<P> {
                 payload: f.payload,
             });
         }
-        out
     }
 
     /// Whether any payloads remain in flight.

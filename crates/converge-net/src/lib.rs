@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod aqm;
+pub mod arena;
 pub mod drive;
 pub mod emulator;
 pub mod event;
@@ -40,6 +41,7 @@ pub mod time;
 pub mod trace;
 
 pub use aqm::{Codel, QueueDiscipline};
+pub use arena::{Arena, SlotKey};
 pub use drive::{DriveParseError, DriveSample, DriveTrace};
 pub use emulator::{Delivery, NetworkEmulator, SendOutcome};
 pub use impairment::{BlackoutSchedule, ImpairmentConfig};

@@ -20,6 +20,37 @@ pub struct FecGroup {
     pub length_xor: u16,
 }
 
+/// XOR-accumulates `src` into the front of `acc`, one byte at a time.
+///
+/// The reference implementation the chunked kernel is checked against;
+/// `acc` must be at least as long as `src`.
+pub fn xor_into_scalar(acc: &mut [u8], src: &[u8]) {
+    for (a, s) in acc.iter_mut().zip(src) {
+        *a ^= s;
+    }
+}
+
+/// XOR-accumulates `src` into the front of `acc`, eight bytes per step.
+///
+/// Byte-for-byte equivalent to [`xor_into_scalar`] (XOR is independent
+/// per byte, so word order never matters), but processes `u64` words so
+/// the compiler emits wide loads instead of a byte loop — the FEC encoder
+/// XORs every media payload once per protected group, making this the
+/// innermost loop of FEC-heavy cells. `acc` must be at least as long as
+/// `src`.
+pub fn xor_into(acc: &mut [u8], src: &[u8]) {
+    let mut acc_words = acc[..src.len()].chunks_exact_mut(8);
+    let mut src_words = src.chunks_exact(8);
+    for (a, s) in acc_words.by_ref().zip(src_words.by_ref()) {
+        let word = u64::from_ne_bytes(a.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        a.copy_from_slice(&word.to_ne_bytes());
+    }
+    for (a, s) in acc_words.into_remainder().iter_mut().zip(src_words.remainder()) {
+        *a ^= s;
+    }
+}
+
 /// Encodes repair packets over groups of media packets.
 ///
 /// `encode_groups(packets, n_repair)` splits `packets` into `n_repair`
@@ -53,9 +84,7 @@ pub fn encode_one(members: &[(u16, Bytes)]) -> FecGroup {
     for (seq, payload) in members {
         protected.push(*seq);
         length_xor ^= payload.len() as u16;
-        for (i, byte) in payload.iter().enumerate() {
-            repair[i] ^= byte;
-        }
+        xor_into(&mut repair, payload);
     }
     protected.sort_unstable();
     FecGroup {
@@ -90,9 +119,7 @@ pub fn recover(group: &FecGroup, received: &[(u16, Bytes)]) -> Option<(u16, Byte
             continue;
         }
         length ^= p.len() as u16;
-        for (i, byte) in p.iter().enumerate() {
-            payload[i] ^= byte;
-        }
+        xor_into(&mut payload, p);
     }
     let length = length as usize;
     if length > payload.len() {
@@ -223,6 +250,64 @@ mod tests {
         let (seq, payload) = recover(&group, &[]).unwrap();
         assert_eq!(seq, pkts[0].0);
         assert_eq!(payload, pkts[0].1);
+    }
+
+    /// The chunked XOR kernel must match the scalar reference byte for
+    /// byte over a grid of random payloads: every length around the
+    /// 8-byte word boundaries (remainder handling) plus typical MTU-ish
+    /// sizes, with random contents.
+    #[test]
+    fn chunked_xor_matches_scalar_on_random_grids() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xFEC);
+        let lengths: Vec<usize> =
+            (0..=17).chain([31, 32, 33, 63, 64, 65, 100, 1199, 1200, 1201]).collect();
+        for &acc_len in &lengths {
+            for &src_len in &lengths {
+                if src_len > acc_len {
+                    continue; // caller contract: acc at least as long
+                }
+                let mut acc_chunked: Vec<u8> = (0..acc_len).map(|_| rng.gen()).collect();
+                let mut acc_scalar = acc_chunked.clone();
+                let src: Vec<u8> = (0..src_len).map(|_| rng.gen()).collect();
+                xor_into(&mut acc_chunked, &src);
+                xor_into_scalar(&mut acc_scalar, &src);
+                assert_eq!(
+                    acc_chunked, acc_scalar,
+                    "kernels diverged at acc_len {acc_len}, src_len {src_len}"
+                );
+            }
+        }
+    }
+
+    /// Whole-codec check on top of the kernel grid: groups encoded with
+    /// the chunked kernel still recover random unequal-length payloads.
+    #[test]
+    fn chunked_encode_recovers_random_payloads() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for round in 0..50 {
+            let n = rng.gen_range(1..=12usize);
+            let pkts: Vec<(u16, Bytes)> = (0..n as u16)
+                .map(|s| {
+                    let len = rng.gen_range(0..1300usize);
+                    let payload: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                    (s, Bytes::from(payload))
+                })
+                .collect();
+            let group = encode_one(&pkts);
+            let missing = rng.gen_range(0..n);
+            let received: Vec<_> = pkts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != missing)
+                .map(|(_, p)| p.clone())
+                .collect();
+            let (seq, payload) = recover(&group, &received)
+                .unwrap_or_else(|| panic!("round {round}: single loss must recover"));
+            assert_eq!(seq, pkts[missing].0);
+            assert_eq!(payload, pkts[missing].1, "round {round} payload mismatch");
+        }
     }
 
     #[test]

@@ -137,18 +137,37 @@ impl DuplexSession {
 
         let end = SimTime::ZERO + cfg.duration;
         let mut clock = SimTime::ZERO;
+
+        // Reused across iterations so the steady-state loop allocates
+        // nothing for polling.
+        let mut paced: Vec<crate::sender::OutboundPacket> = Vec::new();
+        let mut deliveries: Vec<converge_net::Delivery<NetPayload>> = Vec::new();
+
         loop {
-            let pacer_next = endpoints
-                .iter()
-                .filter_map(|e| e.pacer.next_release())
-                .min();
-            let now = match [timers.peek_time(), emu.next_arrival(), pacer_next]
-                .into_iter()
-                .flatten()
-                .min()
-            {
-                Some(t) => t,
-                None => break,
+            // When neither pacer holds a packet and nothing is in flight,
+            // the only possible event source is a timer: jump straight
+            // there (same fast path as the one-way session).
+            let idle = cfg.idle_skip
+                && emu.idle()
+                && endpoints.iter().all(|e| e.pacer.is_empty());
+            let now = if idle {
+                match timers.peek_time() {
+                    Some(t) => t,
+                    None => break,
+                }
+            } else {
+                let pacer_next = endpoints
+                    .iter()
+                    .filter_map(|e| e.pacer.next_release())
+                    .min();
+                match [timers.peek_time(), emu.next_arrival(), pacer_next]
+                    .into_iter()
+                    .flatten()
+                    .min()
+                {
+                    Some(t) => t,
+                    None => break,
+                }
             };
             // The pacer reports a stale (past) `busy_until` for a path that
             // went idle and was re-filled; clamp so simulated time never
@@ -159,23 +178,26 @@ impl DuplexSession {
                 break;
             }
 
-            // Paced transmissions.
-            for ep in endpoints.iter_mut() {
-                let tx_dir = ep.tx_dir;
-                for out in ep.pacer.poll(now) {
-                    let size = out.payload.wire_size();
-                    let is_fec = out.class == PacketClass::Fec;
-                    let is_media = matches!(
-                        &out.payload,
-                        NetPayload::Rtp(r) if r.kind.video_packet().is_some()
-                    );
-                    ep.metrics.on_packet_sent(now, out.path, size, is_fec, is_media);
-                    if out.class == PacketClass::Retransmission {
-                        ep.metrics.on_retransmission();
-                    }
-                    let (outcome, _) = emu.send(out.path, tx_dir, now, size, out.payload);
-                    if outcome.is_lost() {
-                        ep.metrics.on_packet_lost(out.path);
+            // Paced transmissions (idle pacers release nothing).
+            if !idle {
+                for ep in endpoints.iter_mut() {
+                    let tx_dir = ep.tx_dir;
+                    ep.pacer.poll_into(now, &mut paced);
+                    for out in paced.drain(..) {
+                        let size = out.payload.wire_size();
+                        let is_fec = out.class == PacketClass::Fec;
+                        let is_media = matches!(
+                            &out.payload,
+                            NetPayload::Rtp(r) if r.kind.video_packet().is_some()
+                        );
+                        ep.metrics.on_packet_sent(now, out.path, size, is_fec, is_media);
+                        if out.class == PacketClass::Retransmission {
+                            ep.metrics.on_retransmission();
+                        }
+                        let (outcome, _) = emu.send(out.path, tx_dir, now, size, out.payload);
+                        if outcome.is_lost() {
+                            ep.metrics.on_packet_lost(out.path);
+                        }
                     }
                 }
             }
@@ -186,7 +208,10 @@ impl DuplexSession {
             // RTCP, which endpoint 1 emitted toward endpoint 0's sender? No:
             // every payload an endpoint emits (media, SR, feedback) travels
             // its OWN tx direction; the far endpoint dispatches by type.
-            for delivery in emu.poll(now) {
+            if !idle {
+                emu.poll_into(now, &mut deliveries);
+            }
+            for delivery in deliveries.drain(..) {
                 let to_ep = match delivery.direction {
                     Direction::Forward => 1,
                     Direction::Reverse => 0,

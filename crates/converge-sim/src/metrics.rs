@@ -261,13 +261,17 @@ impl MetricsCollector {
             self.pending.at = None;
             return;
         }
-        let batch = std::mem::take(&mut self.pending);
+        // Move the staged entries out so the batch Vec (and its capacity)
+        // can be handed back after the fold — steady state allocates
+        // nothing.
+        let mut staged = std::mem::take(&mut self.pending.paths);
+        let at = self.pending.at.take();
         let n_bins = self.bins.len();
-        let idx = batch.at.map(|t| {
+        let idx = at.map(|t| {
             (t.saturating_since(self.start).as_secs_f64() as usize).min(n_bins.saturating_sub(1))
         });
         let mut media_bits = 0u64;
-        for (path, p) in batch.paths {
+        for &(path, p) in &staged {
             let c = self.paths.entry(path).or_default();
             c.packets_sent += p.packets_sent;
             c.bytes_sent += p.bytes_sent;
@@ -288,6 +292,8 @@ impl MetricsCollector {
                 self.bins[idx].media_bits += media_bits;
             }
         }
+        staged.clear();
+        self.pending.paths = staged;
     }
 
     /// Records a received FEC packet.

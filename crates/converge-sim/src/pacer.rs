@@ -6,7 +6,7 @@
 //! queue. The multipath system inherits this; each path gets its own
 //! pacing budget so one path's backlog cannot stall another's.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use converge_net::{PathId, SimDuration, SimTime};
 
@@ -50,7 +50,15 @@ struct PathQueue {
 /// Per-path token-bucket pacer.
 pub struct Pacer {
     config: PacerConfig,
-    paths: BTreeMap<PathId, PathQueue>,
+    /// Per-path queues, sorted by `PathId`. A session paces a handful of
+    /// paths at most, and the event loop hits this on every packet; a
+    /// sorted vec beats a tree map at that size while keeping the same
+    /// key-ordered iteration (release order across paths is part of the
+    /// traced behaviour).
+    paths: Vec<(PathId, PathQueue)>,
+    /// Running total of queued packets so `len`/`is_empty` are O(1) in the
+    /// event loop's idle check.
+    queued: usize,
 }
 
 impl Pacer {
@@ -58,46 +66,63 @@ impl Pacer {
     pub fn new(config: PacerConfig) -> Self {
         Pacer {
             config,
-            paths: BTreeMap::new(),
+            paths: Vec::new(),
+            queued: 0,
         }
+    }
+
+    /// Returns the queue for `path`, inserting an empty one (sorted) if new.
+    fn path_queue(&mut self, path: PathId) -> &mut PathQueue {
+        let idx = match self.paths.iter().position(|(p, _)| *p == path) {
+            Some(idx) => idx,
+            None => {
+                let at = self.paths.partition_point(|(p, _)| *p < path);
+                self.paths.insert(at, (path, PathQueue::default()));
+                at
+            }
+        };
+        &mut self.paths[idx].1
     }
 
     /// Updates a path's pacing rate (from GCC).
     pub fn set_rate(&mut self, path: PathId, target_bps: f64) {
-        let q = self.paths.entry(path).or_default();
-        q.rate_bps = (target_bps * self.config.pacing_factor).max(self.config.min_rate_bps);
+        let factor = self.config.pacing_factor;
+        let floor = self.config.min_rate_bps;
+        let q = self.path_queue(path);
+        q.rate_bps = (target_bps * factor).max(floor);
     }
 
     /// Queues packets for paced transmission.
     pub fn enqueue(&mut self, now: SimTime, packets: Vec<OutboundPacket>) {
         for packet in packets {
-            self.paths
-                .entry(packet.path)
-                .or_default()
-                .queue
-                .push_back(Queued {
-                    packet,
-                    enqueued_at: now,
-                });
+            self.queued += 1;
+            let path = packet.path;
+            self.path_queue(path).queue.push_back(Queued {
+                packet,
+                enqueued_at: now,
+            });
         }
     }
 
     /// Total packets waiting.
     pub fn len(&self) -> usize {
-        self.paths.values().map(|q| q.queue.len()).sum()
+        self.queued
     }
 
     /// Whether nothing waits.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.queued == 0
     }
 
     /// The earliest instant at which another packet becomes sendable.
     pub fn next_release(&self) -> Option<SimTime> {
+        if self.queued == 0 {
+            return None;
+        }
         self.paths
-            .values()
-            .filter(|q| !q.queue.is_empty())
-            .map(|q| q.busy_until)
+            .iter()
+            .filter(|(_, q)| !q.queue.is_empty())
+            .map(|(_, q)| q.busy_until)
             .min()
     }
 
@@ -105,7 +130,18 @@ impl Pacer {
     /// `now`, in per-path FIFO order.
     pub fn poll(&mut self, now: SimTime) -> Vec<OutboundPacket> {
         let mut out = Vec::new();
-        for q in self.paths.values_mut() {
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// Appends every releasable packet to `out`, in per-path FIFO order.
+    /// Allocation-free once `out` has warmed up; the event loop clears and
+    /// reuses one buffer across iterations.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<OutboundPacket>) {
+        if self.queued == 0 {
+            return;
+        }
+        for (_, q) in self.paths.iter_mut() {
             while let Some(front) = q.queue.front() {
                 let overdue =
                     now.saturating_since(front.enqueued_at) >= self.config.max_queue_delay;
@@ -113,6 +149,7 @@ impl Pacer {
                     break;
                 }
                 let item = q.queue.pop_front().expect("front exists");
+                self.queued -= 1;
                 let bytes = item.packet.payload.wire_size();
                 let rate = q.rate_bps.max(self.config.min_rate_bps);
                 let serialize = SimDuration::from_micros((bytes as f64 * 8.0 / rate * 1e6) as u64);
@@ -124,7 +161,6 @@ impl Pacer {
                 out.push(item.packet);
             }
         }
-        out
     }
 }
 

@@ -2,7 +2,7 @@
 //! NACK and keyframe-request generation, per-path transport statistics,
 //! and the Converge QoE feedback monitor.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 use converge_core::QoeMonitor;
 use converge_net::{PathId, SimDuration, SimTime};
@@ -90,6 +90,10 @@ impl PathRxState {
 }
 
 /// Per-stream receive pipeline.
+/// Slots in the per-stream `recent` ring (a power of two so the index is
+/// a mask).
+const RECENT_SLOTS: usize = 1 << 12;
+
 struct StreamRx {
     packet_buffer: PacketBuffer,
     frame_buffer: FrameBuffer,
@@ -100,9 +104,14 @@ struct StreamRx {
     missing: BTreeMap<u64, SimTime>,
     /// NACK attempts per missing seq.
     nacked: BTreeMap<u64, u8>,
-    /// Recently received media packets by sequence (for FEC recovery).
-    recent: BTreeMap<u64, VideoPacket>,
-    recent_order: VecDeque<u64>,
+    /// Recently received media packets for FEC recovery: a ring indexed
+    /// by `sequence % RECENT_SLOTS`, each slot holding the newest packet
+    /// in its residue class (the stored packet's own sequence confirms a
+    /// hit). Touched on every media arrival; one indexed store replaces a
+    /// hash insert plus FIFO eviction with the same ~4 096-sequence
+    /// retention horizon, far beyond the frame-scale window FEC groups
+    /// actually span.
+    recent: Box<[Option<VideoPacket>]>,
     /// FCD of the last completed frame (paired with the frame-buffer IFD).
     last_fcd: SimDuration,
     /// Frames completed thanks to FEC recovery (latency penalty applies).
@@ -116,13 +125,26 @@ struct PendingFec {
     stream: StreamId,
     protected: Vec<VideoPacket>,
     arrived_at: SimTime,
+    /// Smallest and largest protected media sequence, so an arriving
+    /// packet can rule the whole group out with two integer compares
+    /// instead of scanning `protected`.
+    min_seq: u64,
+    max_seq: u64,
 }
 
 /// The conference receiver.
 pub struct ConferenceReceiver {
     streams: BTreeMap<StreamId, StreamRx>,
-    paths: BTreeMap<PathId, PathRxState>,
+    /// Per-path transport state, sorted by `PathId`. A handful of paths
+    /// at most: a sorted Vec beats a tree map for the per-packet lookup
+    /// while keeping the iteration order RTCP emission depends on.
+    paths: Vec<(PathId, PathRxState)>,
     pending_fec: Vec<PendingFec>,
+    /// Set when the last recovery pass inserted recovered packets into
+    /// `recent`: those inserts can complete further (overlapping) groups,
+    /// so the next pass must evaluate every group, not just the ones the
+    /// triggering packet belongs to.
+    fec_full_sweep: bool,
     /// Keyframe request cooldown per stream.
     last_pli: BTreeMap<StreamId, SimTime>,
     pli_cooldown: SimDuration,
@@ -152,8 +174,7 @@ impl ConferenceReceiver {
                         max_media_seq: None,
                         missing: BTreeMap::new(),
                         nacked: BTreeMap::new(),
-                        recent: BTreeMap::new(),
-                        recent_order: VecDeque::new(),
+                        recent: vec![None; RECENT_SLOTS].into_boxed_slice(),
                         last_fcd: SimDuration::ZERO,
                         fec_assisted: BTreeSet::new(),
                         keyframe_needed: false,
@@ -163,8 +184,14 @@ impl ConferenceReceiver {
             .collect();
         ConferenceReceiver {
             streams,
-            paths: paths.iter().map(|&p| (p, PathRxState::default())).collect(),
+            paths: {
+                let mut v: Vec<(PathId, PathRxState)> =
+                    paths.iter().map(|&p| (p, PathRxState::default())).collect();
+                v.sort_by_key(|(p, _)| *p);
+                v
+            },
             pending_fec: Vec::new(),
+            fec_full_sweep: false,
             last_pli: BTreeMap::new(),
             pli_cooldown: SimDuration::from_millis(500),
             nack_delay: SimDuration::from_millis(60),
@@ -203,7 +230,17 @@ impl ConferenceReceiver {
     /// Processes one arriving RTP packet; returns receiver events.
     pub fn on_rtp(&mut self, now: SimTime, rtp: &SimRtp) -> Vec<ReceiverEvent> {
         // Per-path transport accounting (all RTP kinds count).
-        let path_state = self.paths.entry(rtp.path).or_default();
+        let idx = match self.paths.iter().position(|(p, _)| *p == rtp.path) {
+            Some(i) => i,
+            None => {
+                let at = self
+                    .paths
+                    .partition_point(|(p, _)| *p < rtp.path);
+                self.paths.insert(at, (rtp.path, PathRxState::default()));
+                at
+            }
+        };
+        let path_state = &mut self.paths[idx].1;
         path_state.pending_feedback.push((rtp.transport_seq, now));
         path_state.received_in_interval += 1;
         path_state.update_jitter(rtp.sent_at, now);
@@ -222,12 +259,16 @@ impl ConferenceReceiver {
                 stream, protected, ..
             } => {
                 events.push(ReceiverEvent::FecReceived);
+                let min_seq = protected.iter().map(|p| p.sequence).min().unwrap_or(0);
+                let max_seq = protected.iter().map(|p| p.sequence).max().unwrap_or(0);
                 self.pending_fec.push(PendingFec {
                     stream: *stream,
                     protected: protected.clone(),
                     arrived_at: now,
+                    min_seq,
+                    max_seq,
                 });
-                self.try_fec_recovery(now, &mut events);
+                self.try_fec_recovery(now, None, &mut events);
                 // Bound memory: drop stale groups.
                 self.pending_fec
                     .retain(|g| now.saturating_since(g.arrived_at) < SimDuration::from_secs(2));
@@ -267,14 +308,7 @@ impl ConferenceReceiver {
         }
 
         // Remember for FEC recovery.
-        if rx.recent.insert(packet.sequence, packet).is_none() {
-            rx.recent_order.push_back(packet.sequence);
-        }
-        while rx.recent_order.len() > 4_096 {
-            if let Some(old) = rx.recent_order.pop_front() {
-                rx.recent.remove(&old);
-            }
-        }
+        rx.recent[packet.sequence as usize & (RECENT_SLOTS - 1)] = Some(packet);
 
         rx.monitor.on_packet(now, path, packet.frame_id);
         if packet.kind == PacketKind::Sps {
@@ -293,8 +327,10 @@ impl ConferenceReceiver {
             );
         }
 
-        // A late media packet may make a pending FEC group recoverable.
-        self.try_fec_recovery(now, events);
+        // A late media packet may make a pending FEC group recoverable —
+        // but only a group protecting this very sequence can change state,
+        // so the pass skips every other group.
+        self.try_fec_recovery(now, Some((packet.stream, packet.sequence)), events);
     }
 
     fn process_pb_events(
@@ -356,23 +392,56 @@ impl ConferenceReceiver {
         }
     }
 
-    /// Attempts FEC recovery across all pending groups.
-    fn try_fec_recovery(&mut self, now: SimTime, events: &mut Vec<ReceiverEvent>) {
+    /// Attempts FEC recovery across pending groups.
+    ///
+    /// `trigger` names the media packet whose arrival prompted the pass.
+    /// A group not protecting that sequence cannot have become
+    /// recoverable since its last evaluation (`recent` evictions only
+    /// grow a group's missing set, and every kept group had at least two
+    /// packets missing), so such groups are skipped untouched. `None`
+    /// — and any pass right after one that inserted recovered packets,
+    /// which are extra `recent` changes a filter would miss — evaluates
+    /// everything.
+    fn try_fec_recovery(
+        &mut self,
+        now: SimTime,
+        trigger: Option<(StreamId, u64)>,
+        events: &mut Vec<ReceiverEvent>,
+    ) {
+        if self.pending_fec.is_empty() {
+            self.fec_full_sweep = false;
+            return;
+        }
+        let trigger = if self.fec_full_sweep { None } else { trigger };
         let mut recovered: Vec<(StreamId, VideoPacket)> = Vec::new();
         let streams = &self.streams;
         self.pending_fec.retain(|group| {
+            if let Some((stream, seq)) = trigger {
+                if group.stream != stream || seq < group.min_seq || seq > group.max_seq {
+                    return true;
+                }
+            }
             let Some(rx) = streams.get(&group.stream) else {
                 return false;
             };
-            let missing: Vec<&VideoPacket> = group
-                .protected
-                .iter()
-                .filter(|p| !rx.recent.contains_key(&p.sequence))
-                .collect();
-            match missing.len() {
+            // Only the 0 / 1 / many distinction matters, so stop counting
+            // at the second miss.
+            let mut only_missing: Option<&VideoPacket> = None;
+            let mut misses = 0usize;
+            for p in &group.protected {
+                let slot = &rx.recent[p.sequence as usize & (RECENT_SLOTS - 1)];
+                if !matches!(slot, Some(q) if q.sequence == p.sequence) {
+                    misses += 1;
+                    if misses > 1 {
+                        break;
+                    }
+                    only_missing = Some(p);
+                }
+            }
+            match misses {
                 0 => false, // everything arrived; group no longer needed
                 1 => {
-                    let p = *missing[0];
+                    let p = *only_missing.expect("one miss recorded");
                     // Only useful if the frame hasn't been abandoned.
                     if rx.packet_buffer.is_finished(p.frame_id)
                         || rx.frame_buffer.is_abandoned(p.frame_id)
@@ -387,6 +456,7 @@ impl ConferenceReceiver {
         });
         let decode_latency = self.decode_latency;
         let fec_penalty = self.fec_penalty;
+        self.fec_full_sweep = !recovered.is_empty();
         for (stream, packet) in recovered {
             events.push(ReceiverEvent::FecRecovered);
             if let Some(rx) = self.streams.get_mut(&stream) {
@@ -394,9 +464,7 @@ impl ConferenceReceiver {
                 // A recovered packet no longer needs NACKing.
                 rx.missing.remove(&packet.sequence);
                 rx.nacked.remove(&packet.sequence);
-                if rx.recent.insert(packet.sequence, packet).is_none() {
-                    rx.recent_order.push_back(packet.sequence);
-                }
+                rx.recent[packet.sequence as usize & (RECENT_SLOTS - 1)] = Some(packet);
                 if packet.kind == PacketKind::Sps {
                     rx.frame_buffer.sps_received(packet.gop_id);
                 } else {
@@ -440,7 +508,8 @@ impl ConferenceReceiver {
     ) -> Vec<(PathId, RtcpPacket)> {
         let mut out = Vec::new();
 
-        for (&path, st) in self.paths.iter_mut() {
+        for (path, st) in self.paths.iter_mut() {
+            let path = *path;
             if !include_transport {
                 break;
             }
@@ -508,7 +577,7 @@ impl ConferenceReceiver {
 
         // Control messages travel on the first path (small packets; the
         // emulated reverse directions are uncongested).
-        let control_path = *self.paths.keys().next().expect("at least one path");
+        let control_path = self.paths.first().expect("at least one path").0;
 
         for (&stream, rx) in self.streams.iter_mut() {
             // NACKs: gaps older than the reordering delay, max 2 attempts.

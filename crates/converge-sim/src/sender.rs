@@ -16,6 +16,7 @@ use converge_video::{
 
 use crate::payload::{NetPayload, RtpKind, SimRtp};
 
+
 /// One camera stream's sending pipeline.
 struct StreamPipeline {
     encoder: VideoEncoder,
@@ -43,17 +44,39 @@ pub struct OutboundPacket {
     pub class: PacketClass,
 }
 
+/// Slots in the per-path `sent` ring (a power of two so the index is a
+/// mask). Feedback matches within an RTT — a few hundred sequences — so
+/// 16 384 newest-per-residue retention is far beyond what it ever probes.
+const SENT_SLOTS: usize = 1 << 14;
+
 /// Sender-side per-path transport bookkeeping.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct PathTxState {
     next_transport_seq: u64,
-    /// transport_seq → (send time, size) for congestion-controller
-    /// feedback matching.
-    sent: BTreeMap<u64, (SimTime, usize)>,
+    /// In-flight (transport_seq, send time, size) for congestion-controller
+    /// feedback matching, a ring indexed by `transport_seq % SENT_SLOTS`;
+    /// the stored sequence confirms a hit, and a match is taken out of the
+    /// slot so duplicated feedback cannot yield a timing twice. One
+    /// indexed store per packet replaces a hash insert plus FIFO eviction.
+    sent: Box<[Option<(u64, SimTime, usize)>]>,
     /// Highest transport sequence acknowledged so far, for unwrapping the
     /// 16-bit sequence numbers feedback carries on the wire.
     highest_acked: u64,
 }
+
+impl Default for PathTxState {
+    fn default() -> Self {
+        PathTxState {
+            next_transport_seq: 0,
+            sent: vec![None; SENT_SLOTS].into_boxed_slice(),
+            highest_acked: 0,
+        }
+    }
+}
+
+/// One stream's retransmission history ring: slot `i` holds the newest
+/// sent media packet (and the path it took) whose sequence ends in `i`.
+type MediaRing = Box<[Option<(VideoPacket, PathId)>]>;
 
 /// Reconstructs a full 64-bit sequence from its low 16 bits, choosing the
 /// candidate nearest to `reference` (handles the wrap at 65 536 packets,
@@ -93,11 +116,19 @@ pub struct ConferenceSender {
     cc: BTreeMap<PathId, Box<dyn CongestionController>>,
     scheduler: Box<dyn Scheduler>,
     fec: Box<dyn FecPolicy>,
-    tx: BTreeMap<PathId, PathTxState>,
-    /// Recently sent media packets by (stream, sequence) with the path they
-    /// travelled, for retransmission and NACK loss attribution.
-    sent_media: BTreeMap<(StreamId, u64), (VideoPacket, PathId)>,
-    sent_media_order: VecDeque<(StreamId, u64)>,
+    /// Per-path transport send state, sorted by `PathId`; only ever
+    /// point-looked-up, and a linear scan over a handful of paths is
+    /// cheaper than a tree walk on the per-packet path.
+    tx: Vec<(PathId, PathTxState)>,
+    /// Recently sent media packets with the path they travelled, for
+    /// retransmission and NACK loss attribution. One ring per stream,
+    /// indexed by the low 16 bits of the sequence: slot `i` always holds
+    /// the newest packet whose sequence ends in `i`, which is exactly the
+    /// candidate a 16-bit NACK can name. One indexed store per packet
+    /// replaces a hash insert plus FIFO eviction, and retention (the
+    /// newest 65 536 per stream, ≈60 s of video) comfortably covers the
+    /// few-RTT horizon NACKs actually reference.
+    sent_media: Vec<MediaRing>,
     /// Retransmissions waiting for the next batch.
     rtx_queue: VecDeque<VideoPacket>,
     /// Next probe sequence.
@@ -138,15 +169,19 @@ impl ConferenceSender {
             })
             .collect();
         let cc = paths.iter().map(|&p| (p, controller.build(p))).collect();
-        let tx = paths.iter().map(|&p| (p, PathTxState::default())).collect();
+        let tx = {
+            let mut v: Vec<(PathId, PathTxState)> =
+                paths.iter().map(|&p| (p, PathTxState::default())).collect();
+            v.sort_by_key(|(p, _)| *p);
+            v
+        };
         ConferenceSender {
             streams,
             cc,
             scheduler,
             fec,
             tx,
-            sent_media: BTreeMap::new(),
-            sent_media_order: VecDeque::new(),
+            sent_media: Vec::new(),
             rtx_queue: VecDeque::new(),
             next_probe_seq: 0,
             outstanding_probes: BTreeMap::new(),
@@ -419,16 +454,19 @@ impl ConferenceSender {
         kind: RtpKind,
         class: PacketClass,
     ) -> OutboundPacket {
-        let tx = self.tx.entry(path).or_default();
+        let idx = match self.tx.iter().position(|(p, _)| *p == path) {
+            Some(i) => i,
+            None => {
+                let at = self.tx.partition_point(|(p, _)| *p < path);
+                self.tx.insert(at, (path, PathTxState::default()));
+                at
+            }
+        };
+        let tx = &mut self.tx[idx].1;
         let transport_seq = tx.next_transport_seq;
         tx.next_transport_seq += 1;
         let size = kind.wire_size();
-        tx.sent.insert(transport_seq, (now, size));
-        // Bound memory.
-        while tx.sent.len() > 10_000 {
-            let oldest = *tx.sent.keys().next().expect("non-empty");
-            tx.sent.remove(&oldest);
-        }
+        tx.sent[transport_seq as usize & (SENT_SLOTS - 1)] = Some((transport_seq, now, size));
         OutboundPacket {
             payload: NetPayload::Rtp(SimRtp {
                 kind,
@@ -442,15 +480,12 @@ impl ConferenceSender {
     }
 
     fn remember_media(&mut self, p: &VideoPacket, path: PathId) {
-        let key = (p.stream, p.sequence);
-        if self.sent_media.insert(key, (*p, path)).is_none() {
-            self.sent_media_order.push_back(key);
+        let stream = p.stream.0 as usize;
+        while self.sent_media.len() <= stream {
+            self.sent_media
+                .push(vec![None; 1 << 16].into_boxed_slice());
         }
-        while self.sent_media_order.len() > 20_000 {
-            if let Some(old) = self.sent_media_order.pop_front() {
-                self.sent_media.remove(&old);
-            }
-        }
+        self.sent_media[stream][(p.sequence & 0xFFFF) as usize] = Some((*p, path));
     }
 
     /// Handles an incoming RTCP packet at `now`; may queue retransmissions
@@ -484,7 +519,12 @@ impl ConferenceSender {
             RtcpPacket::TransportFeedback(tf) => {
                 let path = PathId(tf.path_id);
                 let timings: Vec<PacketTiming> = {
-                    let Some(tx) = self.tx.get_mut(&path) else {
+                    let Some(tx) = self
+                        .tx
+                        .iter_mut()
+                        .find(|(p, _)| *p == path)
+                        .map(|(_, t)| t)
+                    else {
                         return 0;
                     };
                     tf.arrivals
@@ -492,11 +532,18 @@ impl ConferenceSender {
                         .filter_map(|&(seq, arrival_us)| {
                             let full = unwrap_seq16(seq, tx.highest_acked);
                             tx.highest_acked = tx.highest_acked.max(full);
-                            tx.sent.remove(&full).map(|(send_time, size)| PacketTiming {
-                                send_time,
-                                arrival_time: SimTime::from_micros(arrival_us),
-                                size,
-                            })
+                            let slot = &mut tx.sent[full as usize & (SENT_SLOTS - 1)];
+                            match *slot {
+                                Some((s, send_time, size)) if s == full => {
+                                    *slot = None;
+                                    Some(PacketTiming {
+                                        send_time,
+                                        arrival_time: SimTime::from_micros(arrival_us),
+                                        size,
+                                    })
+                                }
+                                _ => None,
+                            }
                         })
                         .collect()
                 };
@@ -566,14 +613,10 @@ impl ConferenceSender {
     }
 
     fn lookup_media(&self, stream: StreamId, seq16: u16) -> Option<(VideoPacket, PathId)> {
-        // Scan newest-first for the matching low 16 bits.
-        self.sent_media_order
-            .iter()
-            .rev()
-            .filter(|(s, _)| *s == stream)
-            .find(|(_, seq)| (*seq & 0xFFFF) as u16 == seq16)
-            .and_then(|key| self.sent_media.get(key))
-            .copied()
+        // The ring slot holds the newest sequence with these low 16 bits.
+        self.sent_media
+            .get(stream.0 as usize)
+            .and_then(|ring| ring[seq16 as usize])
     }
 
     /// Builds the sender's periodic RTCP (SR per path + SDES with frame

@@ -48,6 +48,12 @@ pub struct SessionConfig {
     pub controller: ControllerConfig,
     /// Structured-event sink; disabled by default (zero overhead).
     pub trace: TraceHandle,
+    /// Fast-path the idle loop: when nothing is queued in the pacer and
+    /// nothing is in flight, jump the clock straight to the next timer
+    /// without polling either. Equivalence-preserving (an idle pacer and
+    /// emulator deliver nothing); the knob exists so the proptest harness
+    /// can run both ways and assert identical traces.
+    pub idle_skip: bool,
 }
 
 /// Why a [`SessionConfigBuilder`] refused to build.
@@ -110,6 +116,7 @@ pub struct SessionConfigBuilder {
     controller: ControllerConfig,
     trace: TraceHandle,
     impairments: Vec<(u8, Direction, ImpairmentConfig)>,
+    idle_skip: bool,
 }
 
 impl Default for SessionConfigBuilder {
@@ -128,6 +135,7 @@ impl Default for SessionConfigBuilder {
             controller: ControllerConfig::default(),
             trace: TraceHandle::disabled(),
             impairments: Vec::new(),
+            idle_skip: true,
         }
     }
 }
@@ -213,6 +221,15 @@ impl SessionConfigBuilder {
         self
     }
 
+    /// Enables or disables the idle fast path (on by default). Disabling
+    /// it forces the event loop to poll the pacer and emulator on every
+    /// iteration; the equivalence proptest runs both settings and asserts
+    /// the traces are byte-identical.
+    pub fn idle_skip(mut self, enabled: bool) -> Self {
+        self.idle_skip = enabled;
+        self
+    }
+
     /// Overrides one direction of one scenario path with a fault-injection
     /// config (applied on top of whatever the scenario already specifies).
     /// May be called repeatedly; the path index is validated at [`build`].
@@ -266,6 +283,7 @@ impl SessionConfigBuilder {
             coupled_cc: self.coupled_cc,
             controller: self.controller,
             trace: self.trace,
+            idle_skip: self.idle_skip,
         })
     }
 }
@@ -383,13 +401,28 @@ impl Session {
         let end = SimTime::ZERO + cfg.duration;
         let mut clock = SimTime::ZERO;
 
+        // Reused across iterations so the steady-state loop allocates
+        // nothing for polling.
+        let mut paced: Vec<crate::sender::OutboundPacket> = Vec::new();
+        let mut deliveries: Vec<converge_net::Delivery<NetPayload>> = Vec::new();
+
         loop {
-            // Next event: earliest of timers, network deliveries, and the
-            // pacer's next release.
-            let candidates = [timers.peek_time(), emu.next_arrival(), pacer.next_release()];
-            let now = match candidates.into_iter().flatten().min() {
-                Some(t) => t,
-                None => break,
+            // When nothing is queued and nothing is in flight, the only
+            // possible event source is a timer: jump straight there.
+            let idle = cfg.idle_skip && pacer.is_empty() && emu.idle();
+            let now = if idle {
+                match timers.peek_time() {
+                    Some(t) => t,
+                    None => break,
+                }
+            } else {
+                // Next event: earliest of timers, network deliveries, and
+                // the pacer's next release.
+                let candidates = [timers.peek_time(), emu.next_arrival(), pacer.next_release()];
+                match candidates.into_iter().flatten().min() {
+                    Some(t) => t,
+                    None => break,
+                }
             };
             // The pacer reports a stale (past) `busy_until` for a path that
             // went idle and was re-filled; clamp so simulated time never
@@ -400,8 +433,11 @@ impl Session {
                 break;
             }
 
-            // Paced transmissions due now.
-            for out in pacer.poll(now) {
+            // Paced transmissions due now (an idle pacer releases nothing).
+            if !idle {
+                pacer.poll_into(now, &mut paced);
+            }
+            for out in paced.drain(..) {
                 let size = out.payload.wire_size();
                 let is_fec = out.class == PacketClass::Fec;
                 let is_media = matches!(
@@ -419,8 +455,12 @@ impl Session {
                 }
             }
 
-            // Network deliveries due now.
-            for delivery in emu.poll(now) {
+
+            // Network deliveries due now (an idle emulator delivers none).
+            if !idle {
+                emu.poll_into(now, &mut deliveries);
+            }
+            for delivery in deliveries.drain(..) {
                 match (delivery.direction, delivery.payload) {
                     (Direction::Forward, NetPayload::Rtp(rtp)) => {
                         // Probe packets are echoed straight back.
@@ -482,6 +522,7 @@ impl Session {
                 }
             }
 
+
             // Timer events due now.
             while let Some((_, tick)) = timers.pop_due(now) {
                 match tick {
@@ -522,9 +563,12 @@ impl Session {
                 }
             }
 
+
             // Fold the tick's packet counters into the aggregates in one go.
             metrics.flush_tick();
+
         }
+
 
         // Frames the encoder produced but the receiver never displayed are
         // drops too; fold the difference in (avoids double counting the

@@ -47,8 +47,12 @@ struct Assembly {
     frame_type: FrameType,
     capture_time: SimTime,
     first_arrival: SimTime,
-    /// Media packet indices received, with sizes.
-    media: BTreeMap<u16, usize>,
+    /// Media packet indices received, with sizes. A frame splits into a few
+    /// dozen packets at most and this is touched on every arrival, so a
+    /// flat vec (linear probe, insertion order) beats a tree map; only the
+    /// distinct-index count and the size sum are ever read, neither of
+    /// which depends on order.
+    media: Vec<(u16, usize)>,
     /// Total media packets expected, learnt from any media packet.
     expected_media: Option<u16>,
     has_pps: bool,
@@ -67,12 +71,13 @@ impl Assembly {
         }
         match self.expected_media {
             Some(n) => self.media.len() == n as usize,
+            // (distinct indices: inserts overwrite an existing index)
             None => false,
         }
     }
 
     fn media_bytes(&self) -> usize {
-        self.media.values().sum()
+        self.media.iter().map(|(_, size)| size).sum()
     }
 }
 
@@ -90,6 +95,10 @@ pub struct PacketBuffer {
     finished: std::collections::BTreeSet<u64>,
     /// Cap on the `finished` memory.
     finished_cap: usize,
+    /// Highest frame id ever marked finished: any id above it cannot be in
+    /// the set, which lets the common case (a packet of a brand-new frame)
+    /// skip the set probe entirely.
+    max_finished: Option<u64>,
 }
 
 impl PacketBuffer {
@@ -101,6 +110,7 @@ impl PacketBuffer {
             total_packets: 0,
             finished: std::collections::BTreeSet::new(),
             finished_cap: 1024,
+            max_finished: None,
         }
     }
 
@@ -121,7 +131,10 @@ impl PacketBuffer {
 
     /// Whether `frame_id` has already completed or been evicted.
     pub fn is_finished(&self, frame_id: u64) -> bool {
-        self.finished.contains(&frame_id)
+        match self.max_finished {
+            Some(max) if frame_id <= max => self.finished.contains(&frame_id),
+            _ => false,
+        }
     }
 
     /// Drops all partial packets of `frame_id` (used by the frame buffer
@@ -147,7 +160,7 @@ impl PacketBuffer {
             return Vec::new();
         }
         let mut events = Vec::new();
-        if self.finished.contains(&packet.frame_id) {
+        if self.is_finished(packet.frame_id) {
             return vec![PacketBufferEvent::StalePacket {
                 frame_id: packet.frame_id,
             }];
@@ -162,7 +175,7 @@ impl PacketBuffer {
                 frame_type: packet.frame_type,
                 capture_time: packet.capture_time,
                 first_arrival: now,
-                media: BTreeMap::new(),
+                media: Vec::new(),
                 expected_media: None,
                 has_pps: false,
                 sequences: Vec::new(),
@@ -177,16 +190,20 @@ impl PacketBuffer {
         match packet.kind {
             PacketKind::Media { index, count } => {
                 assembly.expected_media = Some(count);
-                assembly.media.insert(index, packet.size);
+                match assembly.media.iter_mut().find(|(i, _)| *i == index) {
+                    Some(slot) => slot.1 = packet.size,
+                    None => assembly.media.push((index, packet.size)),
+                }
             }
             PacketKind::Pps => assembly.has_pps = true,
             PacketKind::Sps => unreachable!("SPS filtered above"),
         }
         assembly.sequences.push(packet.sequence);
+        let complete = assembly.is_complete();
         self.total_packets += 1;
 
         let frame_id = packet.frame_id;
-        if self.frames[&frame_id].is_complete() {
+        if complete {
             let a = self.frames.remove(&frame_id).expect("assembly exists");
             self.total_packets -= a.packet_count();
             self.remember_finished(frame_id);
@@ -226,6 +243,7 @@ impl PacketBuffer {
     }
 
     fn remember_finished(&mut self, frame_id: u64) {
+        self.max_finished = Some(self.max_finished.map_or(frame_id, |m| m.max(frame_id)));
         self.finished.insert(frame_id);
         while self.finished.len() > self.finished_cap {
             let oldest = *self.finished.iter().next().expect("non-empty");

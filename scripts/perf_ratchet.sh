@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Perf ratchet: compares a fresh bench run against the committed perf
+# trajectory and fails on a real regression.
+#
+# Usage: perf_ratchet.sh <trajectory.json> <current.json> [margin]
+#
+# The trajectory file (results/BENCH_fig11.json) holds every committed
+# sim-s/wall-s measurement for the ratchet cell; the gate passes when the
+# fresh run is at least (1 - margin) of the BEST committed run. The margin
+# (default 0.25) absorbs machine noise — single-digit-percent run-to-run
+# variance is normal on shared VMs — while still catching any change that
+# costs a quarter of the simulator's throughput. Appending a new (higher)
+# run to the trajectory is a deliberate, reviewed act: the floor only ever
+# rises.
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <trajectory.json> <current.json> [margin]" >&2
+    exit 2
+fi
+trajectory=$1
+current=$2
+margin=${3:-0.25}
+
+awk -v margin="$margin" '
+    FNR == 1 { file++ }
+    /"sim_s_per_wall_s"/ {
+        v = $0
+        sub(/.*"sim_s_per_wall_s": */, "", v)
+        sub(/[,}\]].*/, "", v)
+        if (file == 1) {
+            if (v + 0 > best) best = v + 0
+        } else if (!seen) {
+            cur = v + 0
+            seen = 1
+        }
+    }
+    END {
+        if (best <= 0) {
+            print "ratchet: missing or zero sim_s_per_wall_s in trajectory"
+            exit 1
+        }
+        if (!seen || cur <= 0) {
+            print "ratchet: missing or zero sim_s_per_wall_s in current run"
+            exit 1
+        }
+        floor = best * (1 - margin)
+        if (cur < floor) {
+            printf "ratchet: throughput regressed: %.1f sim-s/wall-s < floor %.1f (best committed %.1f, margin %.0f%%)\n",
+                cur, floor, best, margin * 100
+            exit 1
+        }
+        printf "ratchet: ok: %.1f sim-s/wall-s (best committed %.1f, floor %.1f)\n",
+            cur, best, floor
+    }
+' "$trajectory" "$current"

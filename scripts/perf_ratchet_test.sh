@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Unit tests for scripts/perf_ratchet.sh against fixture JSON pairs.
+# Run directly or via ci.sh; exits non-zero on the first failing case.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+ratchet=./perf_ratchet.sh
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fails=0
+expect() { # expect <pass|fail> <name> <trajectory> <current> [margin]
+    local want=$1 name=$2 trajectory=$3 current=$4 margin=${5:-}
+    local got=pass
+    if [ -n "$margin" ]; then
+        "$ratchet" "$trajectory" "$current" "$margin" > "$tmp/out" 2>&1 || got=fail
+    else
+        "$ratchet" "$trajectory" "$current" > "$tmp/out" 2>&1 || got=fail
+    fi
+    if [ "$got" != "$want" ]; then
+        echo "FAIL $name: expected $want, got $got:"
+        sed 's/^/    /' "$tmp/out"
+        fails=$((fails + 1))
+    else
+        echo "ok   $name"
+    fi
+}
+
+# Trajectory fixture: two committed runs, best = 1000.
+cat > "$tmp/trajectory.json" <<'EOF'
+{
+  "schema": "converge-bench/perf-trajectory/v1",
+  "metric": "sim_s_per_wall_s",
+  "runs": [
+    {"label": "old", "sim_s_per_wall_s": 552.89},
+    {"label": "best", "sim_s_per_wall_s": 1000.0}
+  ]
+}
+EOF
+
+# Current-run fixtures (bench sweep schema: one value per file).
+cat > "$tmp/improved.json"   <<'EOF'
+{"schema": "converge-bench/sweep/v1", "sim_s_per_wall_s": 1200.0}
+EOF
+cat > "$tmp/noisy.json"      <<'EOF'
+{"schema": "converge-bench/sweep/v1", "sim_s_per_wall_s": 801.5}
+EOF
+cat > "$tmp/regressed.json"  <<'EOF'
+{"schema": "converge-bench/sweep/v1", "sim_s_per_wall_s": 600.0}
+EOF
+cat > "$tmp/zero.json"       <<'EOF'
+{"schema": "converge-bench/sweep/v1", "sim_s_per_wall_s": 0.0}
+EOF
+cat > "$tmp/keyless.json"    <<'EOF'
+{"schema": "converge-bench/sweep/v1", "wall_s": 0.5}
+EOF
+
+# Degenerate trajectory fixtures.
+cat > "$tmp/trajectory_zero.json" <<'EOF'
+{"runs": [{"label": "stub", "sim_s_per_wall_s": 0.0}]}
+EOF
+cat > "$tmp/trajectory_keyless.json" <<'EOF'
+{"runs": [{"label": "stub"}]}
+EOF
+
+# An improvement and a within-noise dip both pass (floor = 1000 * 0.75).
+expect pass improvement-passes          "$tmp/trajectory.json" "$tmp/improved.json"
+expect pass within-noise-passes         "$tmp/trajectory.json" "$tmp/noisy.json"
+# A real regression (600 < 750) fails.
+expect fail regression-fails            "$tmp/trajectory.json" "$tmp/regressed.json"
+# The margin is honoured: 600 passes with a 45% margin (floor 550).
+expect pass custom-margin-honoured      "$tmp/trajectory.json" "$tmp/regressed.json" 0.45
+# Broken inputs are rejected, never silently passed.
+expect fail zero-current-rejected       "$tmp/trajectory.json" "$tmp/zero.json"
+expect fail keyless-current-rejected    "$tmp/trajectory.json" "$tmp/keyless.json"
+expect fail zero-baseline-rejected      "$tmp/trajectory_zero.json" "$tmp/improved.json"
+expect fail missing-baseline-rejected   "$tmp/trajectory_keyless.json" "$tmp/improved.json"
+expect fail missing-file-rejected       "$tmp/does-not-exist.json" "$tmp/improved.json"
+
+if [ "$fails" -ne 0 ]; then
+    echo "perf_ratchet_test: $fails case(s) failed"
+    exit 1
+fi
+echo "perf_ratchet_test: all cases passed"
