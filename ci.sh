@@ -2,8 +2,10 @@
 # Tier-1 gate: lint, build, unit/integration tests, a quick-scale smoke
 # run of the full experiment sweep on 2 workers (exercises the
 # work-stealing pool, the memo cache, and the bench-report writer), a
-# traced experiment run with JSONL timeline validation, and the chaos
-# fault-injection matrix with the invariant checker armed.
+# traced experiment run with JSONL timeline validation, the chaos
+# fault-injection matrix with the invariant checker armed, a fleet-engine
+# smoke cell with invariants armed on every member, and the two perf
+# ratchets (fig11 event loop, 1000-session fleet cell).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -64,6 +66,16 @@ grep -q 'blackout-flap' results/smoke_drive.txt
 grep -q 'coverage-gaps' results/smoke_drive.txt
 grep -q 'handover' results/smoke_drive.txt
 
+# Fleet smoke gate: ~200 concurrent sessions through SFU bottlenecks in
+# the sharded fleet engine with the control-loop invariant checker armed
+# on every member; the stdout fold must carry the QoE-fairness quantiles.
+cargo run --release -p converge-bench --bin experiments -- \
+    fleet --quick --sessions 200 --conference-size 4 --shards 2 \
+    --check-invariants > results/smoke_fleet.txt
+test -s results/smoke_fleet.txt
+grep -q '^qoe|p5=' results/smoke_fleet.txt
+grep -q '^total|decoded=' results/smoke_fleet.txt
+
 # Idle-skip equivalence gate: chaos + drive scenario generators, idle-skip
 # off vs on must produce byte-identical trace streams and QoE folds. The
 # pinned seed grid already ran under `cargo test` above; this re-runs the
@@ -71,15 +83,20 @@ grep -q 'handover' results/smoke_drive.txt
 # explores the same bounded space deterministically on every CI run.
 PROPTEST_CASES=32 cargo test -q -p converge-integration --test idle_skip_equivalence
 
-# Perf ratchet: re-run the fig11 cell single-worker with bench accounting
-# and gate against the committed trajectory (results/BENCH_fig11.json).
-# The fresh run must stay within the noise margin of the BEST committed
-# run — appending a higher run to the trajectory is the only way the
-# floor moves, and it only moves up. The gate itself is unit-tested
-# against fixture JSON pairs first.
+# Perf ratchets: re-run each committed cell single-worker with bench
+# accounting and gate against its trajectory (results/BENCH_fig11.json
+# for the single-session event loop, results/BENCH_fleet.json for the
+# 1000-session fleet engine). A fresh run must stay within the noise
+# margin of the BEST committed run — appending a higher run to a
+# trajectory is the only way a floor moves, and it only moves up. The
+# gate itself is unit-tested against fixture JSON pairs first.
 bash scripts/perf_ratchet_test.sh
 cargo run --release -p converge-bench --bin experiments -- \
     fig11 --quick --jobs 1 --bench-json results/BENCH_fig11.current.json > /dev/null
 bash scripts/perf_ratchet.sh results/BENCH_fig11.json results/BENCH_fig11.current.json
+cargo run --release -p converge-bench --bin experiments -- \
+    fleet --sessions 1000 --conference-size 4 --duration-s 20 --shards 1 \
+    --bench-json results/BENCH_fleet.current.json > /dev/null
+bash scripts/perf_ratchet.sh results/BENCH_fleet.json results/BENCH_fleet.current.json
 
 echo "ci: ok"

@@ -14,6 +14,7 @@ pub mod fig11_table4;
 pub mod fig14_15;
 pub mod fig3_table1;
 pub mod fig9_10_table3;
+pub mod fleet;
 pub mod shootout;
 pub mod stationary;
 pub mod traces;

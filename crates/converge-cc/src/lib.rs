@@ -31,6 +31,7 @@
 
 pub mod mpbbr;
 pub mod nada;
+pub mod sbd;
 
 use converge_gcc::{GccConfig, GccController, PacketTiming};
 use converge_net::{PathId, SimDuration, SimTime};
@@ -39,6 +40,7 @@ use converge_trace::TraceHandle;
 pub use converge_trace::{CcAlgorithm, CcPhase};
 pub use mpbbr::{MpBbrConfig, MpBbrController};
 pub use nada::{NadaConfig, NadaController};
+pub use sbd::{FlowSignature, SbdConfig, SbdDetector};
 
 /// The rate-control surface the conference sender drives, one instance
 /// per path (uncoupled congestion control, paper §4.1).

@@ -42,6 +42,7 @@ pub struct Arena<T> {
     entries: Vec<Entry<T>>,
     free: Vec<u32>,
     len: usize,
+    high_water: usize,
 }
 
 impl<T> Default for Arena<T> {
@@ -57,6 +58,7 @@ impl<T> Arena<T> {
             entries: Vec::new(),
             free: Vec::new(),
             len: 0,
+            high_water: 0,
         }
     }
 
@@ -66,12 +68,14 @@ impl<T> Arena<T> {
             entries: Vec::with_capacity(capacity),
             free: Vec::new(),
             len: 0,
+            high_water: 0,
         }
     }
 
     /// Stores `value`, returning the key that retrieves it.
     pub fn insert(&mut self, value: T) -> SlotKey {
         self.len += 1;
+        self.high_water = self.high_water.max(self.len);
         if let Some(slot) = self.free.pop() {
             let entry = &mut self.entries[slot as usize];
             debug_assert!(entry.value.is_none());
@@ -125,6 +129,16 @@ impl<T> Arena<T> {
     /// Whether no values are live.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// The most values ever live at once over the arena's lifetime.
+    ///
+    /// Cheap occupancy telemetry: lets a long-running engine confirm that
+    /// memory stays proportional to in-flight payloads, not to how many
+    /// sessions have ever scheduled through the arena. Survives
+    /// [`clear`](Arena::clear) so a reused arena reports its true peak.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Drops all values and recycles every slot.

@@ -147,6 +147,15 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// The deepest the queue has ever been over its lifetime.
+    ///
+    /// Occupancy telemetry for fleet debugging: a shard reusing one queue
+    /// across thousands of sessions can assert its depth tracks in-flight
+    /// events, not session count. Survives [`clear`](EventQueue::clear).
+    pub fn high_water(&self) -> usize {
+        self.events.high_water()
+    }
+
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();

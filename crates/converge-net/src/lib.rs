@@ -20,6 +20,9 @@
 //!   flap schedules, reordering, duplication, feedback loss and delay.
 //! - [`path`]: bidirectional path with a stable [`path::PathId`].
 //! - [`emulator`]: multipath emulator holding payloads in flight.
+//! - [`timer`]: hierarchical timer wheel for fleet-scale periodic ticks.
+//! - [`sfu`]: selective-forwarding-unit bottleneck node (fan-in/fan-out
+//!   over a shared link pair, per-member downlink selection).
 //!
 //! Everything is seeded and synchronous: a run is a pure function of its
 //! configuration, which is what makes the paper's experiments reproducible
@@ -37,7 +40,9 @@ pub mod impairment;
 pub mod link;
 pub mod loss;
 pub mod path;
+pub mod sfu;
 pub mod time;
+pub mod timer;
 pub mod trace;
 
 pub use aqm::{Codel, QueueDiscipline};
@@ -48,5 +53,7 @@ pub use impairment::{BlackoutSchedule, ImpairmentConfig};
 pub use link::{Link, LinkConfig, LinkStats, Offer, Transmit};
 pub use loss::{LossModel, LossProcess};
 pub use path::{Direction, Path, PathId};
+pub use sfu::{ForwardPacket, MemberId, SfuConfig, SfuNode, SfuStats};
 pub use time::{SimDuration, SimTime};
+pub use timer::{TimerWheel, TimerWheelStats};
 pub use trace::{Carrier, RateTrace, Scenario};

@@ -12,6 +12,7 @@
 
 pub mod drives;
 pub mod duplex;
+pub mod fleet;
 pub mod metrics;
 pub mod pacer;
 pub mod payload;
@@ -27,6 +28,9 @@ pub use converge_cc::{
 };
 pub use drives::DriveFixture;
 pub use duplex::DuplexSession;
+pub use fleet::{
+    FleetConferenceReport, FleetConfig, FleetEngine, FleetReport, FleetSessionReport, ShardStats,
+};
 pub use metrics::{CallReport, MetricsCollector, PathCounters, SecondBin};
 pub use pacer::{Pacer, PacerConfig};
 pub use payload::{NetPayload, RtpKind, SimRtp};

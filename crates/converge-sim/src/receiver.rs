@@ -163,6 +163,21 @@ impl ConferenceReceiver {
     /// Creates a receiver for `n_streams` streams over `paths`, expecting
     /// `fps` frames per second per stream.
     pub fn new(n_streams: u8, paths: &[PathId], fps: u32, fast_path: PathId) -> Self {
+        Self::new_sized(n_streams, paths, fps, fast_path, RECENT_SLOTS)
+    }
+
+    /// Creates a receiver with an explicit per-stream `recent` ring size
+    /// (a power of two). Fleet runs shrink the ring: every hit is verified
+    /// against the stored packet's own sequence, so a smaller ring only
+    /// shortens the FEC-recovery horizon, never corrupts it.
+    pub fn new_sized(
+        n_streams: u8,
+        paths: &[PathId],
+        fps: u32,
+        fast_path: PathId,
+        recent_slots: usize,
+    ) -> Self {
+        assert!(recent_slots.is_power_of_two());
         let streams = (0..n_streams)
             .map(|i| {
                 (
@@ -174,7 +189,7 @@ impl ConferenceReceiver {
                         max_media_seq: None,
                         missing: BTreeMap::new(),
                         nacked: BTreeMap::new(),
-                        recent: vec![None; RECENT_SLOTS].into_boxed_slice(),
+                        recent: vec![None; recent_slots].into_boxed_slice(),
                         last_fcd: SimDuration::ZERO,
                         fec_assisted: BTreeSet::new(),
                         keyframe_needed: false,
@@ -308,7 +323,8 @@ impl ConferenceReceiver {
         }
 
         // Remember for FEC recovery.
-        rx.recent[packet.sequence as usize & (RECENT_SLOTS - 1)] = Some(packet);
+        let mask = rx.recent.len() - 1;
+        rx.recent[packet.sequence as usize & mask] = Some(packet);
 
         rx.monitor.on_packet(now, path, packet.frame_id);
         if packet.kind == PacketKind::Sps {
@@ -429,7 +445,7 @@ impl ConferenceReceiver {
             let mut only_missing: Option<&VideoPacket> = None;
             let mut misses = 0usize;
             for p in &group.protected {
-                let slot = &rx.recent[p.sequence as usize & (RECENT_SLOTS - 1)];
+                let slot = &rx.recent[p.sequence as usize & (rx.recent.len() - 1)];
                 if !matches!(slot, Some(q) if q.sequence == p.sequence) {
                     misses += 1;
                     if misses > 1 {
@@ -464,7 +480,8 @@ impl ConferenceReceiver {
                 // A recovered packet no longer needs NACKing.
                 rx.missing.remove(&packet.sequence);
                 rx.nacked.remove(&packet.sequence);
-                rx.recent[packet.sequence as usize & (RECENT_SLOTS - 1)] = Some(packet);
+                let mask = rx.recent.len() - 1;
+                rx.recent[packet.sequence as usize & mask] = Some(packet);
                 if packet.kind == PacketKind::Sps {
                     rx.frame_buffer.sps_received(packet.gop_id);
                 } else {

@@ -49,6 +49,44 @@ pub struct OutboundPacket {
 /// 16 384 newest-per-residue retention is far beyond what it ever probes.
 const SENT_SLOTS: usize = 1 << 14;
 
+/// Ring-buffer capacities for one sender's packet histories.
+///
+/// The defaults are deliberately oversized for a single session (a few MB
+/// per sender is irrelevant when one process runs one call). A fleet of
+/// thousands of sessions cannot afford that: [`SenderSizing::fleet`] keeps
+/// the same power-of-two ring structure at a fraction of the footprint,
+/// trading retention horizon (still many RTTs deep) for memory that stays
+/// O(active packets), not O(sessions × default rings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SenderSizing {
+    /// Per-path transport-feedback ring slots (power of two).
+    pub tx_slots: usize,
+    /// Per-stream retransmission-history ring slots (power of two).
+    pub media_slots: usize,
+}
+
+impl Default for SenderSizing {
+    fn default() -> Self {
+        SenderSizing {
+            tx_slots: SENT_SLOTS,
+            media_slots: 1 << 16,
+        }
+    }
+}
+
+impl SenderSizing {
+    /// Compact rings for fleet-scale runs: ~512 in-flight transport
+    /// sequences per path and ~2048 media packets (~2 s of 30 fps video)
+    /// per stream — both several round-trips deeper than feedback or
+    /// NACKs ever reach back.
+    pub fn fleet() -> Self {
+        SenderSizing {
+            tx_slots: 1 << 9,
+            media_slots: 1 << 11,
+        }
+    }
+}
+
 /// Sender-side per-path transport bookkeeping.
 #[derive(Debug)]
 struct PathTxState {
@@ -66,9 +104,16 @@ struct PathTxState {
 
 impl Default for PathTxState {
     fn default() -> Self {
+        PathTxState::with_slots(SENT_SLOTS)
+    }
+}
+
+impl PathTxState {
+    fn with_slots(slots: usize) -> Self {
+        debug_assert!(slots.is_power_of_two());
         PathTxState {
             next_transport_seq: 0,
-            sent: vec![None; SENT_SLOTS].into_boxed_slice(),
+            sent: vec![None; slots].into_boxed_slice(),
             highest_acked: 0,
         }
     }
@@ -146,6 +191,8 @@ pub struct ConferenceSender {
     monitor: ConnectionMonitor,
     /// Congestion-controller coupling mode.
     coupling: RateCoupling,
+    /// Ring capacities used for any lazily created path/stream state.
+    sizing: SenderSizing,
 }
 
 impl ConferenceSender {
@@ -157,6 +204,29 @@ impl ConferenceSender {
         fec: Box<dyn FecPolicy>,
         controller: ControllerConfig,
         max_encoding_rate_bps: u64,
+    ) -> Self {
+        Self::new_sized(
+            n_streams,
+            paths,
+            scheduler,
+            fec,
+            controller,
+            max_encoding_rate_bps,
+            SenderSizing::default(),
+        )
+    }
+
+    /// Creates a sender with explicit ring capacities (fleet runs shrink
+    /// them; see [`SenderSizing`]). `new` is this with the defaults.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_sized(
+        n_streams: u8,
+        paths: &[PathId],
+        scheduler: Box<dyn Scheduler>,
+        fec: Box<dyn FecPolicy>,
+        controller: ControllerConfig,
+        max_encoding_rate_bps: u64,
+        sizing: SenderSizing,
     ) -> Self {
         let streams = (0..n_streams)
             .map(|i| {
@@ -170,8 +240,10 @@ impl ConferenceSender {
             .collect();
         let cc = paths.iter().map(|&p| (p, controller.build(p))).collect();
         let tx = {
-            let mut v: Vec<(PathId, PathTxState)> =
-                paths.iter().map(|&p| (p, PathTxState::default())).collect();
+            let mut v: Vec<(PathId, PathTxState)> = paths
+                .iter()
+                .map(|&p| (p, PathTxState::with_slots(sizing.tx_slots)))
+                .collect();
             v.sort_by_key(|(p, _)| *p);
             v
         };
@@ -188,12 +260,25 @@ impl ConferenceSender {
             fec_overhead_ewma: 0.0,
             monitor: ConnectionMonitor::new(MonitorConfig::default(), paths),
             coupling: RateCoupling::Uncoupled,
+            sizing,
         }
     }
 
     /// Switches the congestion-coupling mode (for the design ablation).
     pub fn set_coupling(&mut self, coupling: RateCoupling) {
         self.coupling = coupling;
+    }
+
+    /// Applies an externally computed additive-increase scale to every
+    /// path controller — the coupling surface an RFC 8382 shared-bottleneck
+    /// detector drives (`1/group_size` for grouped sessions, `1.0`
+    /// otherwise). Under [`RateCoupling::Uncoupled`] (the default) the
+    /// scale persists until the next call; under [`RateCoupling::Lia`] the
+    /// per-tick LIA share computation overwrites it.
+    pub fn set_increase_scale_all(&mut self, scale: f64) {
+        for ctl in self.cc.values_mut() {
+            ctl.set_increase_scale(scale);
+        }
     }
 
     /// Installs a trace handle on every sender-side component: scheduler,
@@ -458,7 +543,8 @@ impl ConferenceSender {
             Some(i) => i,
             None => {
                 let at = self.tx.partition_point(|(p, _)| *p < path);
-                self.tx.insert(at, (path, PathTxState::default()));
+                self.tx
+                    .insert(at, (path, PathTxState::with_slots(self.sizing.tx_slots)));
                 at
             }
         };
@@ -466,7 +552,8 @@ impl ConferenceSender {
         let transport_seq = tx.next_transport_seq;
         tx.next_transport_seq += 1;
         let size = kind.wire_size();
-        tx.sent[transport_seq as usize & (SENT_SLOTS - 1)] = Some((transport_seq, now, size));
+        let mask = tx.sent.len() - 1;
+        tx.sent[transport_seq as usize & mask] = Some((transport_seq, now, size));
         OutboundPacket {
             payload: NetPayload::Rtp(SimRtp {
                 kind,
@@ -483,9 +570,11 @@ impl ConferenceSender {
         let stream = p.stream.0 as usize;
         while self.sent_media.len() <= stream {
             self.sent_media
-                .push(vec![None; 1 << 16].into_boxed_slice());
+                .push(vec![None; self.sizing.media_slots].into_boxed_slice());
         }
-        self.sent_media[stream][(p.sequence & 0xFFFF) as usize] = Some((*p, path));
+        let ring = &mut self.sent_media[stream];
+        let mask = ring.len() - 1;
+        ring[p.sequence as usize & mask] = Some((*p, path));
     }
 
     /// Handles an incoming RTCP packet at `now`; may queue retransmissions
@@ -532,7 +621,8 @@ impl ConferenceSender {
                         .filter_map(|&(seq, arrival_us)| {
                             let full = unwrap_seq16(seq, tx.highest_acked);
                             tx.highest_acked = tx.highest_acked.max(full);
-                            let slot = &mut tx.sent[full as usize & (SENT_SLOTS - 1)];
+                            let mask = tx.sent.len() - 1;
+                            let slot = &mut tx.sent[full as usize & mask];
                             match *slot {
                                 Some((s, send_time, size)) if s == full => {
                                     *slot = None;
@@ -613,10 +703,13 @@ impl ConferenceSender {
     }
 
     fn lookup_media(&self, stream: StreamId, seq16: u16) -> Option<(VideoPacket, PathId)> {
-        // The ring slot holds the newest sequence with these low 16 bits.
-        self.sent_media
-            .get(stream.0 as usize)
-            .and_then(|ring| ring[seq16 as usize])
+        // The ring slot holds the newest sequence with these low index
+        // bits; the stored packet's own sequence confirms the 16-bit NACK
+        // reference actually names it (rings smaller than 2^16 slots alias
+        // more than one 16-bit suffix per slot).
+        let ring = self.sent_media.get(stream.0 as usize)?;
+        let (p, path) = ring[seq16 as usize & (ring.len() - 1)]?;
+        ((p.sequence & 0xFFFF) as u16 == seq16).then_some((p, path))
     }
 
     /// Builds the sender's periodic RTCP (SR per path + SDES with frame

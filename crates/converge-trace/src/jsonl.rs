@@ -114,6 +114,11 @@ pub fn record_line(record: &TraceRecord) -> String {
         }
         TraceEvent::FrameDropped { stream } => format!("\"stream\":{stream}"),
         TraceEvent::FrameFrozen { gap_us } => format!("\"gap_us\":{gap_us}"),
+        TraceEvent::SbdGroupsChanged {
+            flows,
+            groups,
+            coupled,
+        } => format!("\"flows\":{flows},\"groups\":{groups},\"coupled\":{coupled}"),
     };
     format!("{{\"at_us\":{at},\"event\":\"{name}\",{payload}}}")
 }

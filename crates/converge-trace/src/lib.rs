@@ -269,6 +269,16 @@ pub enum TraceEvent {
         /// The observed gap, µs.
         gap_us: u64,
     },
+    /// The RFC 8382 shared-bottleneck detector re-partitioned a fleet's
+    /// flows and rescaled the coupled controllers' additive increase.
+    SbdGroupsChanged {
+        /// Flows the detector currently tracks.
+        flows: u32,
+        /// Shared-bottleneck groups found (singletons excluded).
+        groups: u32,
+        /// Flows inside some group (increase scaled to 1/group size).
+        coupled: u32,
+    },
 }
 
 impl TraceEvent {
@@ -292,6 +302,7 @@ impl TraceEvent {
             TraceEvent::FrameDecoded { .. } => "frame_decoded",
             TraceEvent::FrameDropped { .. } => "frame_dropped",
             TraceEvent::FrameFrozen { .. } => "frame_frozen",
+            TraceEvent::SbdGroupsChanged { .. } => "sbd_groups_changed",
         }
     }
 }

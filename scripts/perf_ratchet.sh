@@ -4,9 +4,13 @@
 #
 # Usage: perf_ratchet.sh <trajectory.json> <current.json> [margin]
 #
-# The trajectory file (results/BENCH_fig11.json) holds every committed
-# sim-s/wall-s measurement for the ratchet cell; the gate passes when the
-# fresh run is at least (1 - margin) of the BEST committed run. The margin
+# The trajectory file (results/BENCH_fig11.json, results/BENCH_fleet.json)
+# holds every committed sim-s/wall-s measurement for its ratchet cell; the
+# gate passes when the fresh run is at least (1 - margin) of the BEST
+# committed run. The current file only needs a top-level
+# "sim_s_per_wall_s" (first occurrence wins), so both the sweep report
+# (converge-bench/sweep/v1) and the fleet report (converge-bench/fleet/v1)
+# gate through the same script. The margin
 # (default 0.25) absorbs machine noise — single-digit-percent run-to-run
 # variance is normal on shared VMs — while still catching any change that
 # costs a quarter of the simulator's throughput. Appending a new (higher)
@@ -22,7 +26,7 @@ trajectory=$1
 current=$2
 margin=${3:-0.25}
 
-awk -v margin="$margin" '
+awk -v margin="$margin" -v cell="$trajectory" '
     FNR == 1 { file++ }
     /"sim_s_per_wall_s"/ {
         v = $0
@@ -37,20 +41,20 @@ awk -v margin="$margin" '
     }
     END {
         if (best <= 0) {
-            print "ratchet: missing or zero sim_s_per_wall_s in trajectory"
+            printf "ratchet[%s]: missing or zero sim_s_per_wall_s in trajectory\n", cell
             exit 1
         }
         if (!seen || cur <= 0) {
-            print "ratchet: missing or zero sim_s_per_wall_s in current run"
+            printf "ratchet[%s]: missing or zero sim_s_per_wall_s in current run\n", cell
             exit 1
         }
         floor = best * (1 - margin)
         if (cur < floor) {
-            printf "ratchet: throughput regressed: %.1f sim-s/wall-s < floor %.1f (best committed %.1f, margin %.0f%%)\n",
-                cur, floor, best, margin * 100
+            printf "ratchet[%s]: throughput regressed: %.1f sim-s/wall-s < floor %.1f (best committed %.1f, margin %.0f%%)\n",
+                cell, cur, floor, best, margin * 100
             exit 1
         }
-        printf "ratchet: ok: %.1f sim-s/wall-s (best committed %.1f, floor %.1f)\n",
-            cur, best, floor
+        printf "ratchet[%s]: ok: %.1f sim-s/wall-s (best committed %.1f, floor %.1f)\n",
+            cell, cur, best, floor
     }
 ' "$trajectory" "$current"

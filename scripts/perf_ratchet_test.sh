@@ -55,6 +55,42 @@ cat > "$tmp/keyless.json"    <<'EOF'
 {"schema": "converge-bench/sweep/v1", "wall_s": 0.5}
 EOF
 
+# Fleet-report fixtures (converge-bench/fleet/v1): the metric sits
+# mid-document after other numeric keys; the gate must pick the first
+# "sim_s_per_wall_s" occurrence and ignore everything else.
+cat > "$tmp/fleet_trajectory.json" <<'EOF'
+{
+  "schema": "converge-bench/perf-trajectory/v1",
+  "cell": "fleet --sessions 1000 --conference-size 4 --duration-s 20 --shards 1",
+  "metric": "sim_s_per_wall_s",
+  "runs": [
+    {"label": "seed", "sim_s_per_wall_s": 500.0}
+  ]
+}
+EOF
+cat > "$tmp/fleet_ok.json" <<'EOF'
+{
+  "schema": "converge-bench/fleet/v1",
+  "sessions": 1000,
+  "wall_s": 33.991,
+  "sim_s": 20000.0,
+  "sim_s_per_wall_s": 588.40,
+  "sessions_per_core": 1000.0,
+  "qoe_p50": 0.353711
+}
+EOF
+cat > "$tmp/fleet_regressed.json" <<'EOF'
+{
+  "schema": "converge-bench/fleet/v1",
+  "sessions": 1000,
+  "wall_s": 80.0,
+  "sim_s": 20000.0,
+  "sim_s_per_wall_s": 250.0,
+  "sessions_per_core": 1000.0,
+  "qoe_p50": 0.353711
+}
+EOF
+
 # Degenerate trajectory fixtures.
 cat > "$tmp/trajectory_zero.json" <<'EOF'
 {"runs": [{"label": "stub", "sim_s_per_wall_s": 0.0}]}
@@ -76,6 +112,10 @@ expect fail keyless-current-rejected    "$tmp/trajectory.json" "$tmp/keyless.jso
 expect fail zero-baseline-rejected      "$tmp/trajectory_zero.json" "$tmp/improved.json"
 expect fail missing-baseline-rejected   "$tmp/trajectory_keyless.json" "$tmp/improved.json"
 expect fail missing-file-rejected       "$tmp/does-not-exist.json" "$tmp/improved.json"
+# Fleet-report current files gate through the same script: the metric is
+# mid-document and first-occurrence parsing must still find it.
+expect pass fleet-report-passes         "$tmp/fleet_trajectory.json" "$tmp/fleet_ok.json"
+expect fail fleet-regression-fails      "$tmp/fleet_trajectory.json" "$tmp/fleet_regressed.json"
 
 if [ "$fails" -ne 0 ]; then
     echo "perf_ratchet_test: $fails case(s) failed"

@@ -1,0 +1,74 @@
+//! Fleet-engine determinism gates: the aggregate fold and the sampled
+//! per-member JSONL timelines must be byte-identical for any shard
+//! count, any batch size, and across repeated runs at a fixed seed.
+//! These are the cross-crate versions of the unit gates inside
+//! `converge-sim::fleet` — run at a slightly larger scale and through
+//! the public API only.
+
+use converge_net::SimDuration;
+use converge_sim::FleetConfig;
+use converge_sim::FleetEngine;
+
+/// A fleet that is small enough for CI but still spans multiple
+/// conferences per batch, a 1-member tail conference, and several
+/// sampled timelines.
+fn fleet_cfg(shards: usize, batch: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(13, 3);
+    cfg.shards = shards;
+    cfg.batch_conferences = batch;
+    cfg.duration = SimDuration::from_secs(4);
+    cfg.seed = 2024;
+    cfg.trace_conferences = 2;
+    cfg
+}
+
+fn fold_and_traces(shards: usize, batch: usize) -> (String, Vec<(String, String)>) {
+    let report = FleetEngine::new(fleet_cfg(shards, batch)).run();
+    (report.fold_text(), report.sampled_traces)
+}
+
+#[test]
+fn fold_and_timelines_are_shard_count_invariant() {
+    let (base_fold, base_traces) = fold_and_traces(1, 2);
+    assert!(!base_traces.is_empty(), "sampled timelines must exist");
+    for shards in [2, 4] {
+        let (fold, traces) = fold_and_traces(shards, 2);
+        assert_eq!(base_fold, fold, "fold diverged at {shards} shards");
+        assert_eq!(base_traces, traces, "timelines diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn fold_and_timelines_are_batch_size_invariant() {
+    let (base_fold, base_traces) = fold_and_traces(2, 1);
+    for batch in [3, 64] {
+        let (fold, traces) = fold_and_traces(2, batch);
+        assert_eq!(base_fold, fold, "fold diverged at batch {batch}");
+        assert_eq!(base_traces, traces, "timelines diverged at batch {batch}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let (a_fold, a_traces) = fold_and_traces(3, 2);
+    let (b_fold, b_traces) = fold_and_traces(3, 2);
+    assert_eq!(a_fold, b_fold);
+    assert_eq!(a_traces, b_traces);
+}
+
+#[test]
+fn invariant_checker_stays_clean_at_integration_scale() {
+    let mut cfg = fleet_cfg(2, 2);
+    cfg.check_invariants = true;
+    let report = FleetEngine::new(cfg).run();
+    assert_eq!(report.violations, 0, "control-loop invariants violated");
+    // The run must actually have decoded media — an empty fleet would
+    // hold every invariant vacuously.
+    let decoded: u64 = report
+        .conferences
+        .iter()
+        .flat_map(|c| c.sessions.iter())
+        .map(|s| s.frames_decoded)
+        .sum();
+    assert!(decoded > 0, "no frames decoded at integration scale");
+}
